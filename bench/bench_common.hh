@@ -1,0 +1,49 @@
+#ifndef PUFFER_BENCH_BENCH_COMMON_HH
+#define PUFFER_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/models.hh"
+#include "exp/trial_cache.hh"
+#include "stats/summary.hh"
+
+namespace puffer::bench {
+
+/// Sessions per scheme for the trial-based benches. Override with
+/// PUFFER_BENCH_SESSIONS; the default gives stable orderings in minutes of
+/// compute. (The real study ran ~48,000 sessions per scheme over 7 months.)
+inline int sessions_per_scheme(const int fallback = 400) {
+  const char* env = std::getenv("PUFFER_BENCH_SESSIONS");
+  if (env != nullptr) {
+    return std::max(1, std::atoi(env));
+  }
+  return fallback;
+}
+
+/// The shared primary experiment: five schemes, deployment-like paths,
+/// blinded random assignment. Cached on disk so the Figure 1/4/8/9/10/A1
+/// benches all analyze one simulation run.
+inline exp::TrialResult primary_trial() {
+  exp::TrialConfig config;
+  config.schemes = {"Fugu", "MPC-HM", "RobustMPC-HM", "Pensieve", "BBA"};
+  config.sessions_per_scheme = sessions_per_scheme();
+  config.seed = 20190119;  // the trial's start date, section 5
+  std::printf("[setup] primary experiment: %zu schemes x %d sessions "
+              "(cached after first run)\n\n",
+              config.schemes.size(), config.sessions_per_scheme);
+  return exp::run_trial_cached(config, exp::default_artifacts(), "primary");
+}
+
+inline double total_watch_years(const exp::SchemeResult& scheme) {
+  double total = 0.0;
+  for (const auto& figures : scheme.considered) {
+    total += figures.watch_time_s;
+  }
+  return total / (365.25 * 24 * 3600);
+}
+
+}  // namespace puffer::bench
+
+#endif  // PUFFER_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,48 @@
+// Figure 1: "Results of primary experiment" — the headline table.
+//
+// Paper values (Jan 19 - Aug 7 & Aug 30 - Sept 12, 2019; 458,801 streams):
+//   Algorithm      Time stalled  Mean SSIM  SSIM variation  Mean duration
+//   Fugu           0.12%         16.9 dB    0.68 dB         32.6 min
+//   MPC-HM         0.25%         16.8 dB    0.72 dB         27.9 min
+//   BBA            0.19%         16.8 dB    1.03 dB         29.6 min
+//   Pensieve       0.17%         16.5 dB    0.97 dB         28.5 min
+//   RobustMPC-HM   0.10%         16.2 dB    0.90 dB         27.4 min
+//
+// Shape to reproduce: Fugu best-or-tied SSIM, lowest SSIM variation, longest
+// mean duration; RobustMPC lowest stalls at a visible SSIM cost; MPC-HM the
+// stall-heaviest of the classical MPC family.
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace puffer;
+
+  const exp::TrialResult trial = bench::primary_trial();
+
+  Rng rng{1};
+  Table table{{"Algorithm", "Time stalled", "Mean SSIM", "SSIM variation",
+               "Mean duration", "Streams", "Watch-years"}};
+  for (const auto& scheme : trial.schemes) {
+    const stats::SchemeSummary summary =
+        stats::summarize_scheme(scheme.considered, rng);
+    double mean_duration_min = 0.0;
+    for (const double d : scheme.session_durations_s) {
+      mean_duration_min += d / 60.0;
+    }
+    mean_duration_min /=
+        static_cast<double>(std::max<size_t>(1, scheme.session_durations_s.size()));
+
+    table.add_row({scheme.scheme, format_percent(summary.stall_ratio.point, 2),
+                   format_fixed(summary.ssim_mean_db, 1) + " dB",
+                   format_fixed(summary.ssim_variation_db, 2) + " dB",
+                   format_fixed(mean_duration_min, 1) + " min",
+                   std::to_string(summary.num_streams),
+                   format_fixed(bench::total_watch_years(scheme), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(lower stall / variation better; higher SSIM / duration "
+              "better. Uncertainties: see fig08_main_results and "
+              "fig10_watch_ccdf.)\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 5: distinguishing features of the algorithms used in the
+// experiments (control strategy, predictor, optimization goal, training).
+// Rendered from the scheme registry so it cannot drift from the code.
+
+#include <cstdio>
+
+#include "exp/registry.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace puffer;
+
+  Table table{{"Algorithm", "Control", "Predictor", "Optimization goal",
+               "How trained"}};
+  for (const auto& info : exp::scheme_table()) {
+    table.add_row(
+        {info.name, info.control, info.predictor, info.objective, info.training});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("HM = harmonic mean of last five throughput samples. "
+              "MPC = model-predictive control. DNN = deep neural network.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Performance microbenchmarks (google-benchmark), backing the paper's
+// section 4.5 engineering claims:
+//   * "A forward pass of TTP's neural network in C++ imposes minimal
+//     overhead per chunk (less than 0.3 ms ...)";
+//   * the MPC controller's value iteration is cheap enough to replan on
+//     every chunk;
+// plus the simulator's own hot paths (TCP fluid step, chunk transfer, VBR
+// generation, a TTP training batch, bootstrap resampling).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "abr/mpc.hh"
+#include "abr/mpc_abr.hh"
+#include "abr/throughput_predictors.hh"
+#include "fugu/fugu.hh"
+#include "fugu/ttp.hh"
+#include "fugu/ttp_predictor.hh"
+#include "media/channel.hh"
+#include "media/vbr_source.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "stats/bootstrap.hh"
+
+namespace {
+
+using namespace puffer;
+
+std::vector<media::ChunkOptions> bench_lookahead() {
+  media::VbrVideoSource source{media::default_channels()[0], 5};
+  std::vector<media::ChunkOptions> lookahead;
+  for (int i = 0; i < 5; i++) {
+    lookahead.push_back(source.chunk_options(i));
+  }
+  return lookahead;
+}
+
+/// One TTP forward pass (22 -> 64 -> 64 -> 21). Paper: < 0.3 ms per chunk.
+void BM_TtpForwardSingle(benchmark::State& state) {
+  const fugu::TtpModel model{fugu::TtpConfig{}, 1};
+  fugu::TtpHistory history;
+  for (int i = 0; i < 8; i++) {
+    history.record(0.8, 0.4, 8);
+  }
+  net::TcpInfo tcp;
+  tcp.delivery_rate_bps = 2e6;
+  const auto features = model.featurize(history, tcp, 1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_bins(0, features));
+  }
+}
+BENCHMARK(BM_TtpForwardSingle);
+
+/// All predictor work of one Fugu decision: 5 horizon steps x 10 rungs.
+void BM_TtpFullDecisionPredictions(benchmark::State& state) {
+  const fugu::TtpModel model{fugu::TtpConfig{}, 1};
+  fugu::TtpHistory history;
+  for (int i = 0; i < 8; i++) {
+    history.record(0.8, 0.4, 8);
+  }
+  net::TcpInfo tcp;
+  tcp.delivery_rate_bps = 2e6;
+  const auto lookahead = bench_lookahead();
+  for (auto _ : state) {
+    for (int step = 0; step < 5; step++) {
+      for (int rung = 0; rung < media::kNumRungs; rung++) {
+        benchmark::DoNotOptimize(model.predict_tx_time(
+            step, history, tcp,
+            lookahead[static_cast<size_t>(step)].version(rung).size_bytes));
+      }
+    }
+  }
+}
+BENCHMARK(BM_TtpFullDecisionPredictions);
+
+/// A complete MPC plan with a point-estimate predictor (MPC-HM's cost).
+void BM_MpcPlanHarmonicMean(benchmark::State& state) {
+  abr::StochasticMpc mpc;
+  abr::HarmonicMeanPredictor predictor;
+  abr::ChunkRecord record;
+  record.size_bytes = 1'000'000;
+  record.transmission_time_s = 0.8;
+  for (int i = 0; i < 5; i++) {
+    predictor.on_chunk_complete(record);
+  }
+  abr::AbrObservation obs;
+  obs.buffer_s = 7.3;
+  obs.prev_ssim_db = 15.0;
+  const auto lookahead = bench_lookahead();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc.plan(obs, lookahead, predictor));
+  }
+}
+BENCHMARK(BM_MpcPlanHarmonicMean);
+
+/// A complete Fugu decision: TTP predictions + stochastic value iteration.
+void BM_FuguFullDecision(benchmark::State& state) {
+  auto model = std::make_shared<const fugu::TtpModel>(fugu::TtpConfig{}, 1);
+  const auto fugu_abr = fugu::make_fugu(model);
+  abr::ChunkRecord record;
+  record.size_bytes = 1'000'000;
+  record.transmission_time_s = 0.8;
+  for (int i = 0; i < 8; i++) {
+    fugu_abr->on_chunk_complete(record);
+  }
+  abr::AbrObservation obs;
+  obs.buffer_s = 7.3;
+  obs.prev_ssim_db = 15.0;
+  obs.tcp.delivery_rate_bps = 2e6;
+  const auto lookahead = bench_lookahead();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fugu_abr->choose_rung(obs, lookahead));
+  }
+}
+BENCHMARK(BM_FuguFullDecision);
+
+/// One 1 MB chunk transfer over a 10 Mbit/s fluid TCP path.
+void BM_TcpChunkTransfer(benchmark::State& state) {
+  const double rate = 10.0 * 1e6 / 8.0;
+  const net::NetworkPath path{
+      net::ThroughputTrace{std::vector<double>(100000, rate), 1.0}, 0.040};
+  net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(path)};
+  sender.transfer(2e6);  // warm up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sender.transfer(1e6));
+  }
+}
+BENCHMARK(BM_TcpChunkTransfer);
+
+/// Generating one chunk's ten encoded versions.
+void BM_VbrChunkGeneration(benchmark::State& state) {
+  media::VbrVideoSource source{media::default_channels()[0], 9};
+  int64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.chunk_options(index++));
+  }
+}
+BENCHMARK(BM_VbrChunkGeneration);
+
+/// One TTP training step (batch 256, forward + backward + Adam).
+void BM_TtpTrainBatch(benchmark::State& state) {
+  fugu::TtpModel model{fugu::TtpConfig{}, 1};
+  nn::Mlp& net = model.networks()[0];
+  nn::AdamOptimizer optimizer{1e-3};
+  Rng rng{3};
+  nn::Matrix inputs{256, 22};
+  for (size_t i = 0; i < inputs.size(); i++) {
+    inputs.data()[i] = static_cast<float>(rng.uniform());
+  }
+  std::vector<int> labels(256);
+  for (auto& label : labels) {
+    label = static_cast<int>(rng.uniform_int(0, fugu::kTtpBins - 1));
+  }
+  for (auto _ : state) {
+    nn::Tape tape;
+    net.forward_tape(inputs, tape);
+    nn::Matrix dlogits;
+    benchmark::DoNotOptimize(
+        nn::softmax_cross_entropy(tape.activations.back(), labels, dlogits));
+    nn::Gradients grads = net.make_gradients();
+    net.backward(tape, dlogits, grads);
+    optimizer.step(net, grads);
+  }
+}
+BENCHMARK(BM_TtpTrainBatch);
+
+/// Bootstrap CI over 2,000 streams with 1,000 replicates (the per-scheme
+/// analysis cost of the primary experiment).
+void BM_BootstrapStallRatioCi(benchmark::State& state) {
+  Rng data_rng{4};
+  std::vector<stats::RatioObservation> streams;
+  for (int i = 0; i < 2000; i++) {
+    streams.push_back({data_rng.bernoulli(0.03) ? data_rng.exponential(0.5) : 0.0,
+                       data_rng.lognormal(5.0, 1.3)});
+  }
+  Rng rng{5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::bootstrap_ratio_ci(streams, rng, 1000));
+  }
+}
+BENCHMARK(BM_BootstrapStallRatioCi);
+
+}  // namespace

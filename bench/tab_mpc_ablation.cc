@@ -1,0 +1,129 @@
+// Ablation of the MPC controller's design constants (paper sections 4.4 and
+// 4.5): lookahead horizon H = 5 chunks and a discretized buffer. Sweeps the
+// horizon and the buffer-bin width for MPC-HM over a fixed set of paths and
+// reports QoE figures plus mean per-decision planning time.
+
+#include <chrono>
+#include <memory>
+
+#include "abr/mpc_abr.hh"
+#include "abr/throughput_predictors.hh"
+#include "bench_common.hh"
+#include "media/channel.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "sim/session.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace puffer;
+
+struct AblationResult {
+  stats::SchemeSummary summary;
+  double mean_plan_us = 0.0;
+};
+
+/// Wraps an ABR scheme to time its decisions.
+class TimedAbr final : public abr::AbrAlgorithm {
+ public:
+  explicit TimedAbr(std::unique_ptr<abr::AbrAlgorithm> inner)
+      : inner_(std::move(inner)) {}
+  [[nodiscard]] std::string_view name() const override {
+    return inner_->name();
+  }
+  void reset_session() override { inner_->reset_session(); }
+  int choose_rung(const abr::AbrObservation& obs,
+                  std::span<const media::ChunkOptions> lookahead) override {
+    const auto start = std::chrono::steady_clock::now();
+    const int rung = inner_->choose_rung(obs, lookahead);
+    const auto end = std::chrono::steady_clock::now();
+    total_us_ += std::chrono::duration<double, std::micro>(end - start).count();
+    decisions_++;
+    return rung;
+  }
+  void on_chunk_complete(const abr::ChunkRecord& record) override {
+    inner_->on_chunk_complete(record);
+  }
+  [[nodiscard]] double mean_us() const {
+    return decisions_ > 0 ? total_us_ / decisions_ : 0.0;
+  }
+
+ private:
+  std::unique_ptr<abr::AbrAlgorithm> inner_;
+  double total_us_ = 0.0;
+  int64_t decisions_ = 0;
+};
+
+AblationResult evaluate(const abr::MpcConfig& config, const int num_streams) {
+  const net::PufferPathModel paths;
+  TimedAbr abr{std::make_unique<abr::MpcAbr>(
+      "MPC-HM", std::make_unique<abr::HarmonicMeanPredictor>(), config)};
+
+  std::vector<stats::StreamFigures> figures;
+  Rng rng{606};
+  sim::StreamRunConfig stream_config;
+  stream_config.lookahead_chunks = std::max(config.horizon, 1);
+  for (int s = 0; s < num_streams; s++) {
+    Rng stream_rng = rng.split(static_cast<uint64_t>(s));
+    const net::NetworkPath path = paths.sample_path(stream_rng, 900.0);
+    net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                          net::TcpSender::default_queue_capacity(path)};
+    sim::send_preamble(sender);
+    abr.reset_session();
+    media::VbrVideoSource video{
+        media::default_channels()[static_cast<size_t>(s) % media::kNumChannels],
+        static_cast<uint64_t>(s) * 13 + 1};
+    sim::UserBehavior viewer;
+    viewer.watch_intent_s = 420.0;
+    viewer.stall_patience_s = 1e9;
+    viewer.stall_hazard_per_s = 0.0;
+    viewer.quality_hazard_per_s_db = 0.0;
+    const sim::StreamOutcome outcome =
+        sim::run_stream(sender, abr, video, 0, viewer, stream_rng,
+                        stream_config);
+    if (outcome.began_playing) {
+      figures.push_back(outcome.figures);
+    }
+  }
+  Rng summary_rng{2};
+  return {stats::summarize_scheme(figures, summary_rng, 300), abr.mean_us()};
+}
+
+}  // namespace
+
+int main() {
+  const int streams = puffer::bench::sessions_per_scheme(80);
+
+  puffer::Table table{{"Config", "Stall ratio", "SSIM (dB)", "SSIM var (dB)",
+                       "Plan time (us)"}};
+  auto add = [&](const std::string& label, const abr::MpcConfig& config) {
+    const AblationResult result = evaluate(config, streams);
+    table.add_row({label,
+                   puffer::format_percent(result.summary.stall_ratio.point, 3),
+                   puffer::format_fixed(result.summary.ssim_mean_db, 2),
+                   puffer::format_fixed(result.summary.ssim_variation_db, 2),
+                   puffer::format_fixed(result.mean_plan_us, 1)});
+    return result;
+  };
+
+  abr::MpcConfig base;  // H = 5, 0.25 s bins — the paper's configuration
+  add("H=5, bin=0.25s (paper)", base);
+
+  for (const int horizon : {1, 3, 8}) {
+    abr::MpcConfig config = base;
+    config.horizon = horizon;
+    add("H=" + std::to_string(horizon) + ", bin=0.25s", config);
+  }
+  for (const double bin : {0.1, 1.0}) {
+    abr::MpcConfig config = base;
+    config.buffer_bin_s = bin;
+    add("H=5, bin=" + puffer::format_fixed(bin, 2) + "s", config);
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: H=1 is myopic (worse smoothness/stalls); "
+              "returns diminish beyond H=5;\ncoarser buffer bins are cheaper "
+              "but blur the stall boundary.\n");
+  return 0;
+}

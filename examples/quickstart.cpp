@@ -1,0 +1,76 @@
+// Quickstart: stream one simulated session through the public API.
+//
+// Builds a heavy-tailed "wild Internet" path, a live VBR video source, a TCP
+// connection (BBR), and an MPC-HM ABR scheme, then streams ten minutes of
+// video and prints the per-stream telemetry that the Puffer study records.
+//
+// No trained models are needed for this example; see compare_abr.cpp and
+// train_ttp_in_situ.cpp for Fugu.
+
+#include <cstdio>
+#include <memory>
+
+#include "abr/mpc_abr.hh"
+#include "abr/throughput_predictors.hh"
+#include "media/channel.hh"
+#include "media/vbr_source.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "net/trace_models.hh"
+#include "sim/session.hh"
+#include "util/rng.hh"
+
+int main() {
+  using namespace puffer;
+
+  // 1. Sample a network path from the deployment-like (heavy-tailed) family.
+  Rng rng{2019};
+  const net::PufferPathModel paths;
+  const net::NetworkPath path = paths.sample_path(rng, /*duration_s=*/900.0);
+  std::printf("Path: mean capacity %.2f Mbit/s, min RTT %.0f ms\n",
+              path.trace.mean_rate() * 8.0 / 1e6, path.min_rtt_s * 1e3);
+
+  // 2. Open a TCP connection (BBR, as in Puffer's primary experiment) and
+  //    warm it with the player preamble.
+  net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(path)};
+  sim::send_preamble(sender);
+
+  // 3. A live TV channel, encoded in ten H.264 rungs per 2.002 s chunk.
+  media::VbrVideoSource video{media::default_channels()[0], /*seed=*/42};
+
+  // 4. The ABR scheme: model-predictive control with the classical
+  //    harmonic-mean throughput predictor (MPC-HM).
+  abr::MpcAbr abr{"MPC-HM", std::make_unique<abr::HarmonicMeanPredictor>()};
+  abr.reset_session();
+
+  // 5. A patient viewer watching for ten minutes.
+  sim::UserBehavior viewer;
+  viewer.watch_intent_s = 600.0;
+  viewer.stall_patience_s = 1e9;
+  viewer.stall_hazard_per_s = 0.0;
+  viewer.quality_hazard_per_s_db = 0.0;
+
+  const sim::StreamOutcome outcome =
+      sim::run_stream(sender, abr, video, /*first_chunk=*/0, viewer, rng);
+
+  // 6. The per-stream figures the paper's primary analysis uses (§3.4).
+  std::printf("\nStream telemetry\n");
+  std::printf("  startup delay      : %.2f s\n",
+              outcome.figures.startup_delay_s);
+  std::printf("  watch time         : %.1f s\n", outcome.figures.watch_time_s);
+  std::printf("  time stalled       : %.2f s (%.3f%%)\n",
+              outcome.figures.stall_time_s,
+              100.0 * outcome.figures.stall_time_s /
+                  outcome.figures.watch_time_s);
+  std::printf("  mean SSIM          : %.2f dB\n", outcome.figures.ssim_mean_db);
+  std::printf("  SSIM variation     : %.2f dB\n",
+              outcome.figures.ssim_variation_db);
+  std::printf("  mean bitrate       : %.2f Mbit/s\n",
+              outcome.figures.mean_bitrate_mbps);
+  std::printf("  mean delivery rate : %.2f Mbit/s (%s path)\n",
+              outcome.figures.mean_delivery_rate_mbps,
+              outcome.figures.mean_delivery_rate_mbps < 6.0 ? "slow" : "fast");
+  std::printf("  chunks played      : %d\n", outcome.chunks_played);
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef PUFFER_ABR_ABR_HH
+#define PUFFER_ABR_ABR_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "media/vbr_source.hh"
+#include "net/tcp_info.hh"
+
+namespace puffer::abr {
+
+/// Telemetry for one completed chunk transfer, reported back to the ABR
+/// scheme (and, for Fugu, logged as TTP training data).
+struct ChunkRecord {
+  int64_t chunk_index = 0;
+  int rung = 0;
+  int64_t size_bytes = 0;
+  double ssim_db = 0.0;
+  double transmission_time_s = 0.0;
+  net::TcpInfo tcp_at_send;  ///< tcp_info snapshot when the send was decided
+};
+
+/// Everything an ABR scheme may observe when choosing the next chunk.
+/// Server-side schemes (all of ours, as on Puffer) also see tcp_info.
+struct AbrObservation {
+  int64_t chunk_index = 0;    ///< index of the chunk being decided
+  double buffer_s = 0.0;      ///< client playback buffer at decision time
+  double prev_ssim_db = -1.0; ///< SSIM of previous sent chunk; < 0 if none
+  int prev_rung = -1;         ///< rung of previous sent chunk; -1 if none
+  net::TcpInfo tcp;
+};
+
+/// Interface all bitrate-selection schemes implement. The session simulator
+/// calls choose_rung() once per chunk and on_chunk_complete() when the chunk
+/// has been fully received by the client.
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called at the start of a session (new connection: history is empty).
+  virtual void reset_session() = 0;
+
+  /// Choose the ladder rung for lookahead[0]. `lookahead` holds the version
+  /// menus of the next chunks (>= 1 entry); model-predictive schemes use up
+  /// to their horizon, others only the first entry.
+  virtual int choose_rung(const AbrObservation& obs,
+                          std::span<const media::ChunkOptions> lookahead) = 0;
+
+  /// Telemetry for the transfer of the previously chosen chunk.
+  virtual void on_chunk_complete(const ChunkRecord& record) = 0;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_ABR_HH

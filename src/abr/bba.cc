@@ -1,0 +1,54 @@
+#include "abr/bba.hh"
+
+#include <algorithm>
+
+#include "media/ladder.hh"
+#include "util/require.hh"
+
+namespace puffer::abr {
+
+Bba::Bba(const BbaConfig config) : config_(config) {
+  require(config_.reservoir_s > 0.0 &&
+              config_.upper_reservoir_s > config_.reservoir_s &&
+              config_.max_buffer_s >= config_.upper_reservoir_s,
+          "Bba: reservoir < upper reservoir <= max buffer required");
+}
+
+double Bba::rate_limit_mbps(const double buffer_s) const {
+  const double r_min = media::default_ladder().front().nominal_bitrate_mbps;
+  const double r_max = media::default_ladder().back().nominal_bitrate_mbps;
+  if (buffer_s <= config_.reservoir_s) {
+    return r_min;
+  }
+  if (buffer_s >= config_.upper_reservoir_s) {
+    return r_max;
+  }
+  const double fraction = (buffer_s - config_.reservoir_s) /
+                          (config_.upper_reservoir_s - config_.reservoir_s);
+  return r_min + fraction * (r_max - r_min);
+}
+
+int Bba::choose_rung(const AbrObservation& obs,
+                     const std::span<const media::ChunkOptions> lookahead) {
+  require(!lookahead.empty(), "Bba: need the upcoming chunk menu");
+  const media::ChunkOptions& menu = lookahead[0];
+  const double limit_mbps = rate_limit_mbps(obs.buffer_s);
+
+  int best = 0;  // lowest rung is the always-allowed fallback
+  double best_ssim = menu.versions[0].ssim_db;
+  for (const auto& version : menu.versions) {
+    const double rate_mbps = static_cast<double>(version.size_bytes) * 8.0 /
+                             1e6 / media::kChunkDurationS;
+    if (rate_mbps <= limit_mbps && version.ssim_db > best_ssim) {
+      best = version.rung;
+      best_ssim = version.ssim_db;
+    }
+  }
+  return best;
+}
+
+void Bba::on_chunk_complete(const ChunkRecord& /*record*/) {
+  // BBA is memoryless: decisions depend only on the current buffer.
+}
+
+}  // namespace puffer::abr

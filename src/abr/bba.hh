@@ -1,0 +1,38 @@
+#ifndef PUFFER_ABR_BBA_HH
+#define PUFFER_ABR_BBA_HH
+
+#include "abr/abr.hh"
+
+namespace puffer::abr {
+
+/// Buffer-based adaptation (Huang et al., SIGCOMM 2014 [17]) as deployed on
+/// Puffer: the classical reservoir/cushion rate map, with reservoir values
+/// consistent with Puffer's 15-second maximum buffer (section 3.3), choosing
+/// the highest-SSIM version whose instantaneous bitrate fits under the map
+/// (Figure 5: "+SSIM s.t. bitrate < limit").
+struct BbaConfig {
+  double max_buffer_s = 15.0;
+  double reservoir_s = 3.75;        ///< below this: lowest rung
+  double upper_reservoir_s = 13.125;///< above this: highest rung
+};
+
+class Bba final : public AbrAlgorithm {
+ public:
+  explicit Bba(BbaConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "BBA"; }
+  void reset_session() override {}
+  int choose_rung(const AbrObservation& obs,
+                  std::span<const media::ChunkOptions> lookahead) override;
+  void on_chunk_complete(const ChunkRecord& record) override;
+
+  /// The rate map f(buffer) in Mbit/s (exposed for tests).
+  [[nodiscard]] double rate_limit_mbps(double buffer_s) const;
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_BBA_HH

@@ -1,0 +1,169 @@
+#include "abr/mpc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::abr {
+
+namespace {
+
+/// Prune negligible-probability outcomes and renormalize; keeps planning
+/// cheap without changing the distribution materially.
+void prune_distribution(TxTimeDistribution& dist, const double min_probability) {
+  double kept_mass = 0.0;
+  size_t out = 0;
+  for (const auto& outcome : dist) {
+    if (outcome.probability >= min_probability) {
+      dist[out++] = outcome;
+      kept_mass += outcome.probability;
+    }
+  }
+  if (out == 0) {
+    // Keep the single most likely outcome.
+    const auto best =
+        std::max_element(dist.begin(), dist.end(),
+                         [](const TxTimeOutcome& a, const TxTimeOutcome& b) {
+                           return a.probability < b.probability;
+                         });
+    dist = {TxTimeOutcome{best->time_s, 1.0}};
+    return;
+  }
+  dist.resize(out);
+  for (auto& outcome : dist) {
+    outcome.probability /= kept_mass;
+  }
+}
+
+}  // namespace
+
+StochasticMpc::StochasticMpc(const MpcConfig config) : config_(config) {
+  require(config_.horizon >= 1, "StochasticMpc: horizon must be >= 1");
+  require(config_.buffer_bin_s > 0.0, "StochasticMpc: bin size must be > 0");
+  num_bins_ =
+      static_cast<int>(std::ceil(config_.max_buffer_s / config_.buffer_bin_s));
+  const size_t states = static_cast<size_t>(config_.horizon + 1) *
+                        static_cast<size_t>(num_bins_ + 1) * media::kNumRungs;
+  memo_value_.assign(states, 0.0);
+  memo_epoch_.assign(states, 0);
+}
+
+int StochasticMpc::buffer_to_bin(const double buffer_s) const {
+  const double clamped = std::clamp(buffer_s, 0.0, config_.max_buffer_s);
+  return static_cast<int>(std::lround(clamped / config_.buffer_bin_s));
+}
+
+size_t StochasticMpc::state_index(const int step, const int buffer_bin,
+                                  const int prev_rung) const {
+  return (static_cast<size_t>(step) * static_cast<size_t>(num_bins_ + 1) +
+          static_cast<size_t>(buffer_bin)) *
+             media::kNumRungs +
+         static_cast<size_t>(prev_rung);
+}
+
+double StochasticMpc::chunk_qoe(const double ssim_db, const double prev_ssim_db,
+                                const double tx_time_s,
+                                const double buffer_s) const {
+  double qoe = ssim_db;
+  if (prev_ssim_db >= 0.0) {
+    qoe -= config_.lambda * std::abs(ssim_db - prev_ssim_db);
+  }
+  const double stall = std::max(tx_time_s - buffer_s, 0.0);
+  qoe -= config_.mu * stall;
+  return qoe;
+}
+
+double StochasticMpc::value_of(const int step, const int buffer_bin,
+                               const int prev_rung) {
+  if (step >= effective_horizon_) {
+    return 0.0;
+  }
+  const size_t index = state_index(step, buffer_bin, prev_rung);
+  if (memo_epoch_[index] == epoch_) {
+    return memo_value_[index];
+  }
+
+  const double buffer_s = buffer_bin * config_.buffer_bin_s;
+  const double prev_ssim_db =
+      lookahead_[static_cast<size_t>(step - 1)].versions[static_cast<size_t>(
+          prev_rung)].ssim_db;
+
+  double best = -std::numeric_limits<double>::infinity();
+  for (int action = 0; action < media::kNumRungs; action++) {
+    const auto& version =
+        lookahead_[static_cast<size_t>(step)].versions[static_cast<size_t>(action)];
+    const TxTimeDistribution& dist =
+        distributions_[static_cast<size_t>(step) * media::kNumRungs +
+                       static_cast<size_t>(action)];
+    double expected = 0.0;
+    for (const auto& outcome : dist) {
+      const double qoe =
+          chunk_qoe(version.ssim_db, prev_ssim_db, outcome.time_s, buffer_s);
+      const double next_buffer =
+          std::min(std::max(buffer_s - outcome.time_s, 0.0) +
+                       config_.chunk_duration_s,
+                   config_.max_buffer_s);
+      expected += outcome.probability *
+                  (qoe + value_of(step + 1, buffer_to_bin(next_buffer), action));
+    }
+    best = std::max(best, expected);
+  }
+
+  memo_epoch_[index] = epoch_;
+  memo_value_[index] = best;
+  return best;
+}
+
+int StochasticMpc::plan(const AbrObservation& obs,
+                        const std::span<const media::ChunkOptions> lookahead,
+                        TxTimePredictor& predictor) {
+  require(!lookahead.empty(), "StochasticMpc::plan: empty lookahead");
+  lookahead_ = lookahead;
+  effective_horizon_ =
+      std::min<int>(config_.horizon, static_cast<int>(lookahead.size()));
+  epoch_++;
+
+  // Precompute (and prune) one distribution per (step, rung).
+  distributions_.assign(
+      static_cast<size_t>(effective_horizon_) * media::kNumRungs, {});
+  for (int step = 0; step < effective_horizon_; step++) {
+    for (int rung = 0; rung < media::kNumRungs; rung++) {
+      TxTimeDistribution dist = predictor.predict(
+          step,
+          lookahead[static_cast<size_t>(step)].versions[static_cast<size_t>(rung)]
+              .size_bytes);
+      require(!dist.empty(), "StochasticMpc: predictor returned empty dist");
+      prune_distribution(dist, config_.prune_probability);
+      distributions_[static_cast<size_t>(step) * media::kNumRungs +
+                     static_cast<size_t>(rung)] = std::move(dist);
+    }
+  }
+
+  // Root step: continuous buffer, previous quality from the observation.
+  int best_action = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (int action = 0; action < media::kNumRungs; action++) {
+    const auto& version = lookahead[0].versions[static_cast<size_t>(action)];
+    const TxTimeDistribution& dist = distributions_[static_cast<size_t>(action)];
+    double expected = 0.0;
+    for (const auto& outcome : dist) {
+      const double qoe = chunk_qoe(version.ssim_db, obs.prev_ssim_db,
+                                   outcome.time_s, obs.buffer_s);
+      const double next_buffer =
+          std::min(std::max(obs.buffer_s - outcome.time_s, 0.0) +
+                       config_.chunk_duration_s,
+                   config_.max_buffer_s);
+      expected += outcome.probability *
+                  (qoe + value_of(1, buffer_to_bin(next_buffer), action));
+    }
+    if (expected > best_value) {
+      best_value = expected;
+      best_action = action;
+    }
+  }
+  last_plan_value_ = best_value;
+  return best_action;
+}
+
+}  // namespace puffer::abr

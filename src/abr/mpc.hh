@@ -1,0 +1,81 @@
+#ifndef PUFFER_ABR_MPC_HH
+#define PUFFER_ABR_MPC_HH
+
+#include <vector>
+
+#include "abr/predictor.hh"
+
+namespace puffer::abr {
+
+/// Configuration of the model-predictive controller (paper sections 4.1,
+/// 4.4, 4.5): QoE(K) = Q(K) - lambda*|Q(K)-Q(prev)| - mu*stall, horizon
+/// H = 5 chunks, value iteration over a discretized buffer.
+struct MpcConfig {
+  int horizon = 5;
+  double lambda = 1.0;           ///< quality-variation weight
+  double mu = 100.0;             ///< stall weight (per second of stall)
+  double buffer_bin_s = 0.25;    ///< buffer discretization
+  double max_buffer_s = 15.0;    ///< client buffer cap
+  double chunk_duration_s = 2.002;
+  /// Planning drops outcomes below this probability. Kept very small: with
+  /// mu = 100, even a low-probability worst-case bin (10.5 s) carries real
+  /// expected cost, and hiding tail risk is exactly the failure mode
+  /// stochastic MPC exists to avoid (section 4.6).
+  double prune_probability = 1e-4;
+};
+
+/// Stochastic model-predictive controller: maximizes expected cumulative QoE
+/// over the lookahead horizon by forward value iteration with memoization
+/// over (step, discretized buffer, previous rung) — exactly the paper's
+/// section 4.4 formulation. Works with any TxTimePredictor:
+///  * degenerate (point-mass) distributions reproduce classical MPC;
+///  * Fugu's probabilistic TTP makes it a stochastic optimal controller.
+class StochasticMpc {
+ public:
+  explicit StochasticMpc(MpcConfig config = {});
+
+  /// Plan and return the rung to send now. The predictor must already have
+  /// been primed with begin_decision(obs).
+  int plan(const AbrObservation& obs,
+           std::span<const media::ChunkOptions> lookahead,
+           TxTimePredictor& predictor);
+
+  [[nodiscard]] const MpcConfig& config() const { return config_; }
+
+  /// Expected total QoE of the most recent plan (for tests/diagnostics).
+  [[nodiscard]] double last_plan_value() const { return last_plan_value_; }
+
+ private:
+  struct StateKey {
+    int step;
+    int buffer_bin;
+    int prev_rung;
+  };
+
+  [[nodiscard]] int buffer_to_bin(double buffer_s) const;
+  [[nodiscard]] size_t state_index(int step, int buffer_bin, int prev_rung) const;
+
+  double value_of(int step, int buffer_bin, int prev_rung);
+
+  /// QoE of choosing `version` given previous quality `prev_ssim_db`
+  /// (variation term skipped when prev_ssim_db < 0) and the stall implied by
+  /// transmission time vs. buffer.
+  [[nodiscard]] double chunk_qoe(double ssim_db, double prev_ssim_db,
+                                 double tx_time_s, double buffer_s) const;
+
+  MpcConfig config_;
+  int num_bins_ = 0;
+
+  // Per-plan scratch (kept across calls to avoid reallocation).
+  std::span<const media::ChunkOptions> lookahead_;
+  int effective_horizon_ = 0;
+  std::vector<TxTimeDistribution> distributions_;  // [step * kNumRungs + rung]
+  std::vector<double> memo_value_;
+  std::vector<uint32_t> memo_epoch_;
+  uint32_t epoch_ = 0;
+  double last_plan_value_ = 0.0;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_MPC_HH

@@ -1,0 +1,27 @@
+#include "abr/mpc_abr.hh"
+
+#include "util/require.hh"
+
+namespace puffer::abr {
+
+MpcAbr::MpcAbr(std::string name, std::unique_ptr<TxTimePredictor> predictor,
+               const MpcConfig config)
+    : name_(std::move(name)), predictor_(std::move(predictor)), mpc_(config) {
+  require(predictor_ != nullptr, "MpcAbr: predictor required");
+}
+
+void MpcAbr::reset_session() {
+  predictor_->reset_session();
+}
+
+int MpcAbr::choose_rung(const AbrObservation& obs,
+                        const std::span<const media::ChunkOptions> lookahead) {
+  predictor_->begin_decision(obs);
+  return mpc_.plan(obs, lookahead, *predictor_);
+}
+
+void MpcAbr::on_chunk_complete(const ChunkRecord& record) {
+  predictor_->on_chunk_complete(record);
+}
+
+}  // namespace puffer::abr

@@ -1,0 +1,39 @@
+#ifndef PUFFER_ABR_MPC_ABR_HH
+#define PUFFER_ABR_MPC_ABR_HH
+
+#include <memory>
+#include <string>
+
+#include "abr/abr.hh"
+#include "abr/mpc.hh"
+#include "abr/predictor.hh"
+
+namespace puffer::abr {
+
+/// ABR scheme = StochasticMpc controller + a pluggable transmission-time
+/// predictor. MPC-HM, RobustMPC-HM and Fugu are all instances of this class
+/// with different predictors — mirroring the paper's note that "MPC and Fugu
+/// even share most of their codebase" (section 5.1).
+class MpcAbr final : public AbrAlgorithm {
+ public:
+  MpcAbr(std::string name, std::unique_ptr<TxTimePredictor> predictor,
+         MpcConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void reset_session() override;
+  int choose_rung(const AbrObservation& obs,
+                  std::span<const media::ChunkOptions> lookahead) override;
+  void on_chunk_complete(const ChunkRecord& record) override;
+
+  [[nodiscard]] TxTimePredictor& predictor() { return *predictor_; }
+  [[nodiscard]] const StochasticMpc& controller() const { return mpc_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<TxTimePredictor> predictor_;
+  StochasticMpc mpc_;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_MPC_ABR_HH

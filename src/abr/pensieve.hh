@@ -1,0 +1,71 @@
+#ifndef PUFFER_ABR_PENSIEVE_HH
+#define PUFFER_ABR_PENSIEVE_HH
+
+#include <deque>
+#include <optional>
+
+#include "abr/abr.hh"
+#include "nn/mlp.hh"
+#include "util/rng.hh"
+
+namespace puffer::abr {
+
+/// Number of history slots in Pensieve's state (past throughput and
+/// download-time measurements), as in Mao et al. [23].
+inline constexpr int kPensieveHistory = 8;
+
+/// Pensieve state dimensionality:
+/// last-rung (1) + buffer (1) + throughputs (8) + download times (8) +
+/// next-chunk sizes (10) + remaining-chunks signal (1).
+inline constexpr int kPensieveStateDim =
+    1 + 1 + kPensieveHistory + kPensieveHistory + media::kNumRungs + 1;
+
+/// Rolling history used to build the Pensieve state vector. Shared between
+/// deployment (PensieveAbr) and training (PensieveEnv) so the two see
+/// exactly the same featurization.
+struct PensieveHistory {
+  int last_rung = 0;
+  std::deque<double> throughputs_mbps;   ///< most recent last
+  std::deque<double> download_times_s;
+
+  void reset();
+  void record(double throughput_mbps, double download_time_s, int rung);
+};
+
+/// Build the normalized state vector. `remaining_signal` is 1.0 for live
+/// streams (the paper set video_num_chunks to 24 hours so Pensieve "does not
+/// expect the video to end", section 3.3).
+std::vector<float> pensieve_state(const PensieveHistory& history,
+                                  double buffer_s,
+                                  const media::ChunkOptions& next_menu,
+                                  double remaining_signal = 1.0);
+
+/// Architectures for the actor (policy) and critic (value baseline).
+nn::Mlp make_pensieve_actor(uint64_t seed);
+nn::Mlp make_pensieve_critic(uint64_t seed);
+
+/// The Pensieve ABR scheme: a learned policy network maps the state directly
+/// to a rung choice (Figure 5: "learned (DNN), +bitrate -stalls -Δbitrate,
+/// reinforcement learning in simulation"). Deployment acts greedily; during
+/// training the trainer samples from the softmax itself.
+class PensieveAbr final : public AbrAlgorithm {
+ public:
+  explicit PensieveAbr(nn::Mlp actor, std::string name = "Pensieve");
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void reset_session() override;
+  int choose_rung(const AbrObservation& obs,
+                  std::span<const media::ChunkOptions> lookahead) override;
+  void on_chunk_complete(const ChunkRecord& record) override;
+
+  [[nodiscard]] const nn::Mlp& actor() const { return actor_; }
+
+ private:
+  nn::Mlp actor_;
+  std::string name_;
+  PensieveHistory history_;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_PENSIEVE_HH

@@ -1,0 +1,47 @@
+#ifndef PUFFER_ABR_PENSIEVE_TRAINER_HH
+#define PUFFER_ABR_PENSIEVE_TRAINER_HH
+
+#include "abr/pensieve_env.hh"
+#include "nn/mlp.hh"
+#include "nn/optimizer.hh"
+
+namespace puffer::abr {
+
+/// Advantage-actor-critic training of the Pensieve policy in the chunk-level
+/// emulation environment ("reinforcement learning in simulation", Figure 5).
+/// Includes the entropy-regularization annealing the Pensieve authors
+/// recommended to the Puffer team (section 3.3: "tune the entropy parameter
+/// ... 6 different models with various entropy reduction schemes").
+struct PensieveTrainConfig {
+  int iterations = 600;
+  int episodes_per_iteration = 8;
+  double discount = 0.99;
+  double actor_learning_rate = 3e-4;
+  double critic_learning_rate = 1e-3;
+  double entropy_weight_start = 0.30;
+  double entropy_weight_end = 0.01;
+  double gradient_clip = 40.0;
+  PensieveEnvConfig env = [] {
+    PensieveEnvConfig config;
+    // Widen the training-trace mix toward the 12 Mbit/s shell cap so the
+    // policy learns to use the high rungs when throughput allows (the real
+    // Pensieve's FCC/Norway mix also reached the shell cap, section 3.3).
+    config.trace.median_rate_mbps = 3.0;
+    config.trace.log10_rate_sigma = 0.45;
+    return config;
+  }();
+};
+
+struct PensieveTrainReport {
+  double final_mean_reward = 0.0;
+  double final_stall_fraction = 0.0;
+  std::vector<double> reward_per_iteration;
+};
+
+/// Train and return an actor network (and fill `report` if non-null).
+nn::Mlp train_pensieve(const PensieveTrainConfig& config, uint64_t seed,
+                       PensieveTrainReport* report = nullptr);
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_PENSIEVE_TRAINER_HH

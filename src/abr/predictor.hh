@@ -1,0 +1,46 @@
+#ifndef PUFFER_ABR_PREDICTOR_HH
+#define PUFFER_ABR_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "abr/abr.hh"
+
+namespace puffer::abr {
+
+/// One possible transmission-time outcome with its probability.
+struct TxTimeOutcome {
+  double time_s = 0.0;
+  double probability = 1.0;
+};
+
+/// A (small) discrete distribution over transmission times. Point-estimate
+/// predictors return a single outcome with probability 1.
+using TxTimeDistribution = std::vector<TxTimeOutcome>;
+
+/// Predicts how long a proposed chunk of a given size will take to transmit.
+/// This is the module MPC consults (paper Figure 6); implementations include
+/// the classical harmonic-mean throughput predictor (MPC-HM), its robust
+/// variant (RobustMPC-HM), and Fugu's learned TTP.
+class TxTimePredictor {
+ public:
+  virtual ~TxTimePredictor() = default;
+
+  /// Called once per ABR decision with the current observation, before any
+  /// predict() calls for that decision.
+  virtual void begin_decision(const AbrObservation& obs) = 0;
+
+  /// Distribution over the transmission time of sending `size_bytes` as the
+  /// chunk `step` positions ahead (step 0 = the chunk being decided now).
+  virtual TxTimeDistribution predict(int step, int64_t size_bytes) = 0;
+
+  /// Telemetry of a completed transfer (updates history).
+  virtual void on_chunk_complete(const ChunkRecord& record) = 0;
+
+  /// Session start: clear history.
+  virtual void reset_session() = 0;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_PREDICTOR_HH

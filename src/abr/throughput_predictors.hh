@@ -1,0 +1,49 @@
+#ifndef PUFFER_ABR_THROUGHPUT_PREDICTORS_HH
+#define PUFFER_ABR_THROUGHPUT_PREDICTORS_HH
+
+#include <deque>
+
+#include "abr/predictor.hh"
+
+namespace puffer::abr {
+
+/// The classical predictor used by MPC-HM (paper [43] and Figure 5): the
+/// harmonic mean of the last five throughput samples, converted to a
+/// transmission time via t = size / throughput (a point estimate).
+class HarmonicMeanPredictor : public TxTimePredictor {
+ public:
+  explicit HarmonicMeanPredictor(int window = 5);
+
+  void begin_decision(const AbrObservation& obs) override;
+  TxTimeDistribution predict(int step, int64_t size_bytes) override;
+  void on_chunk_complete(const ChunkRecord& record) override;
+  void reset_session() override;
+
+  /// Current throughput estimate in bytes/second (exposed for tests).
+  [[nodiscard]] double predicted_throughput() const;
+
+ protected:
+  int window_;
+  std::deque<double> throughput_samples_;  ///< bytes per second
+  double fallback_throughput_ = 0.0;       ///< from tcp_info on cold start
+};
+
+/// RobustMPC's conservative variant: discount the harmonic-mean estimate by
+/// the maximum relative prediction error observed over the recent window,
+/// C_robust = C_hm / (1 + max_err) (Yin et al. [43], section 5.2).
+class RobustThroughputPredictor final : public HarmonicMeanPredictor {
+ public:
+  explicit RobustThroughputPredictor(int window = 5);
+
+  TxTimeDistribution predict(int step, int64_t size_bytes) override;
+  void on_chunk_complete(const ChunkRecord& record) override;
+  void reset_session() override;
+
+ private:
+  std::deque<double> relative_errors_;
+  double last_prediction_bps_ = 0.0;
+};
+
+}  // namespace puffer::abr
+
+#endif  // PUFFER_ABR_THROUGHPUT_PREDICTORS_HH

@@ -1,0 +1,168 @@
+#include "exp/insitu.hh"
+
+#include <fstream>
+
+#include "nn/serialize.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+
+namespace {
+
+constexpr uint32_t kTtpMagic = 0x50545450;   // "PTTP"
+constexpr uint32_t kDataMagic = 0x50444154;  // "PDAT"
+
+void write_u64(std::ostream& out, const uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  require(bool(in), "read_u64: truncated stream");
+  return value;
+}
+
+void write_f64(std::ostream& out, const double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+double read_f64(std::istream& in) {
+  double value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  require(bool(in), "read_f64: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_ttp(const fugu::TtpModel& model, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_ttp: cannot open " + path);
+  write_u64(out, kTtpMagic);
+  write_u64(out, static_cast<uint64_t>(model.networks().size()));
+  for (const auto& net : model.networks()) {
+    nn::save_mlp(net, out);
+  }
+}
+
+std::optional<fugu::TtpModel> try_load_ttp(const fugu::TtpConfig& config,
+                                           const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  if (read_u64(in) != kTtpMagic) {
+    return std::nullopt;
+  }
+  const uint64_t count = read_u64(in);
+  if (count != static_cast<uint64_t>(config.horizon)) {
+    return std::nullopt;
+  }
+  fugu::TtpModel model{config, /*seed=*/0};
+  for (uint64_t k = 0; k < count; k++) {
+    nn::Mlp net = nn::load_mlp(in);
+    if (net.layer_sizes() != model.networks()[k].layer_sizes()) {
+      return std::nullopt;  // architecture mismatch with requested config
+    }
+    model.networks()[k] = std::move(net);
+  }
+  return model;
+}
+
+void save_dataset(const fugu::TtpDataset& dataset, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_dataset: cannot open " + path);
+  write_u64(out, kDataMagic);
+  write_u64(out, dataset.size());
+  for (const auto& stream : dataset) {
+    write_u64(out, static_cast<uint64_t>(stream.day));
+    write_u64(out, stream.chunks.size());
+    for (const auto& chunk : stream.chunks) {
+      write_f64(out, chunk.size_mb);
+      write_f64(out, chunk.tx_time_s);
+      write_f64(out, chunk.tcp_at_send.cwnd_pkts);
+      write_f64(out, chunk.tcp_at_send.in_flight_pkts);
+      write_f64(out, chunk.tcp_at_send.min_rtt_s);
+      write_f64(out, chunk.tcp_at_send.srtt_s);
+      write_f64(out, chunk.tcp_at_send.delivery_rate_bps);
+    }
+  }
+}
+
+std::optional<fugu::TtpDataset> try_load_dataset(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  if (read_u64(in) != kDataMagic) {
+    return std::nullopt;
+  }
+  fugu::TtpDataset dataset;
+  const uint64_t num_streams = read_u64(in);
+  dataset.reserve(num_streams);
+  for (uint64_t s = 0; s < num_streams; s++) {
+    fugu::StreamLog stream;
+    stream.day = static_cast<int>(read_u64(in));
+    const uint64_t num_chunks = read_u64(in);
+    stream.chunks.reserve(num_chunks);
+    for (uint64_t c = 0; c < num_chunks; c++) {
+      fugu::ChunkLog chunk;
+      chunk.size_mb = read_f64(in);
+      chunk.tx_time_s = read_f64(in);
+      chunk.tcp_at_send.cwnd_pkts = read_f64(in);
+      chunk.tcp_at_send.in_flight_pkts = read_f64(in);
+      chunk.tcp_at_send.min_rtt_s = read_f64(in);
+      chunk.tcp_at_send.srtt_s = read_f64(in);
+      chunk.tcp_at_send.delivery_rate_bps = read_f64(in);
+      stream.chunks.push_back(chunk);
+    }
+    dataset.push_back(std::move(stream));
+  }
+  return dataset;
+}
+
+fugu::TtpDataset collect_telemetry(const PathFamily family,
+                                   const int num_sessions, const int day,
+                                   const uint64_t seed) {
+  TrialConfig config;
+  config.schemes = {"BBA", "MPC-HM", "RobustMPC-HM"};
+  config.sessions_per_scheme =
+      std::max(1, num_sessions / static_cast<int>(config.schemes.size()));
+  config.paths = family;
+  config.seed = seed + static_cast<uint64_t>(day) * 7919;
+  config.collect_logs = true;
+  config.day = day;
+
+  const SchemeArtifacts no_models;
+  TrialResult trial = run_trial(config, no_models);
+
+  fugu::TtpDataset dataset;
+  for (auto& scheme : trial.schemes) {
+    for (auto& log : scheme.logs) {
+      dataset.push_back(std::move(log));
+    }
+  }
+  return dataset;
+}
+
+fugu::TtpModel train_ttp_on_family(const PathFamily family,
+                                   const fugu::TtpConfig& config,
+                                   const fugu::TtpTrainConfig& train_config,
+                                   const int days, const int sessions_per_day,
+                                   const uint64_t seed,
+                                   fugu::TtpTrainReport* report) {
+  fugu::TtpDataset dataset;
+  for (int day = 0; day < days; day++) {
+    fugu::TtpDataset daily =
+        collect_telemetry(family, sessions_per_day, day, seed);
+    for (auto& stream : daily) {
+      dataset.push_back(std::move(stream));
+    }
+  }
+  Rng rng = Rng{seed}.split("ttp-train");
+  return fugu::train_ttp(config, dataset, /*current_day=*/days - 1,
+                         train_config, rng, /*warm_start=*/nullptr, report);
+}
+
+}  // namespace puffer::exp

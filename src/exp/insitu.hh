@@ -1,0 +1,41 @@
+#ifndef PUFFER_EXP_INSITU_HH
+#define PUFFER_EXP_INSITU_HH
+
+#include <optional>
+#include <string>
+
+#include "exp/trial.hh"
+#include "fugu/ttp_trainer.hh"
+
+namespace puffer::exp {
+
+/// Serialize a full TTP (all horizon networks) for caching/warm starts.
+void save_ttp(const fugu::TtpModel& model, const std::string& path);
+/// Load a TTP if the file exists and matches `config`; nullopt otherwise.
+std::optional<fugu::TtpModel> try_load_ttp(const fugu::TtpConfig& config,
+                                           const std::string& path);
+
+/// Serialize a raw telemetry dataset (Appendix B-style chunk logs).
+void save_dataset(const fugu::TtpDataset& dataset, const std::string& path);
+std::optional<fugu::TtpDataset> try_load_dataset(const std::string& path);
+
+/// Collect one day of telemetry by streaming sessions with the deployed
+/// classical schemes (BBA, MPC-HM, RobustMPC-HM) over the given path family.
+/// This is the paper's "Data Aggregation" box (Figure 6): Fugu learns from
+/// whatever traffic the deployment carries.
+fugu::TtpDataset collect_telemetry(PathFamily family, int num_sessions,
+                                   int day, uint64_t seed);
+
+/// Collect `days` days of telemetry and train a TTP on the window ending at
+/// the last day — "learning in situ" when family == kPuffer, and the
+/// "Emulation-trained Fugu" arm when family == kFccEmulation.
+fugu::TtpModel train_ttp_on_family(PathFamily family,
+                                   const fugu::TtpConfig& config,
+                                   const fugu::TtpTrainConfig& train_config,
+                                   int days, int sessions_per_day,
+                                   uint64_t seed,
+                                   fugu::TtpTrainReport* report = nullptr);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_INSITU_HH

@@ -1,0 +1,34 @@
+#ifndef PUFFER_EXP_MODELS_HH
+#define PUFFER_EXP_MODELS_HH
+
+#include <memory>
+#include <string>
+
+#include "exp/registry.hh"
+#include "exp/trial.hh"
+
+namespace puffer::exp {
+
+/// Where trained artifacts are cached between bench/example runs. Training
+/// is deterministic given the seed, so the cache is purely a time saver; any
+/// binary can be run standalone and will train what it needs.
+std::string model_cache_dir();
+
+/// The in-situ TTP (trained on telemetry from the deployment-like paths).
+std::shared_ptr<const fugu::TtpModel> get_insitu_ttp(uint64_t seed = 42);
+
+/// The emulation-trained TTP (telemetry from FCC-trace emulation only).
+std::shared_ptr<const fugu::TtpModel> get_emulation_ttp(uint64_t seed = 42);
+
+/// The Pensieve actor trained with RL in the chunk-level emulator.
+std::shared_ptr<const nn::Mlp> get_pensieve_actor(uint64_t seed = 42);
+
+/// Everything the five-scheme primary experiment needs.
+SchemeArtifacts default_artifacts(uint64_t seed = 42);
+
+/// The telemetry dataset used for TTP ablation studies (cached).
+fugu::TtpDataset get_insitu_dataset(uint64_t seed = 42);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_MODELS_HH

@@ -1,0 +1,127 @@
+#ifndef PUFFER_EXP_OPEN_DATA_HH
+#define PUFFER_EXP_OPEN_DATA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/session.hh"
+
+namespace puffer::exp {
+
+/// A `video_sent` measurement datapoint (paper Appendix B): recorded every
+/// time the server sends a video chunk to a client.
+struct VideoSentRow {
+  double time = 0.0;          ///< epoch-style timestamp (simulation seconds)
+  int64_t stream_id = 0;      ///< unique stream identifier
+  int expt_id = 0;            ///< experimental group (scheme) identifier
+  int64_t size = 0;           ///< chunk size in bytes
+  double ssim_index = 0.0;    ///< raw SSIM in [0, 1)
+  double cwnd = 0.0;          ///< tcpi_snd_cwnd (packets)
+  double in_flight = 0.0;     ///< unacked - sacked - lost + retrans
+  double min_rtt = 0.0;       ///< tcpi_min_rtt (seconds)
+  double rtt = 0.0;           ///< tcpi_rtt, smoothed (seconds)
+  double delivery_rate = 0.0; ///< tcpi_delivery_rate (bytes/second)
+};
+
+/// A `video_acked` datapoint: one per chunk acknowledgement; matched with
+/// video_sent to compute the chunk's transmission time.
+struct VideoAckedRow {
+  double time = 0.0;
+  int64_t stream_id = 0;
+  int expt_id = 0;
+  int64_t chunk_index = 0;
+};
+
+/// A `client_buffer` datapoint: buffer level and cumulative rebuffer time on
+/// playback events and periodic reports.
+struct ClientBufferRow {
+  double time = 0.0;
+  int64_t stream_id = 0;
+  int expt_id = 0;
+  std::string event;        ///< "startup" | "play" | "rebuffer" | "timer"
+  double buffer = 0.0;      ///< playback buffer (seconds)
+  double cum_rebuf = 0.0;   ///< cumulative rebuffer time in this stream
+};
+
+/// Collects the three measurement tables from instrumented streams and
+/// writes them in the open-data CSV layout. One writer per export; attach
+/// `observer_for(stream_id, expt_id)` to each sim::run_stream call.
+class OpenDataWriter {
+ public:
+  /// A StreamObserver bound to one (stream_id, expt_id); the returned object
+  /// borrows this writer and must not outlive it.
+  class Recorder final : public sim::StreamObserver {
+   public:
+    Recorder(OpenDataWriter& writer, int64_t stream_id, int expt_id)
+        : writer_(&writer), stream_id_(stream_id), expt_id_(expt_id) {}
+
+    void on_video_sent(double time_s, const abr::ChunkRecord& record,
+                       double buffer_s) override;
+    void on_video_acked(double time_s, int64_t chunk_index) override;
+    void on_client_buffer(double time_s, const char* event, double buffer_s,
+                          double cum_rebuffer_s) override;
+
+   private:
+    OpenDataWriter* writer_;
+    int64_t stream_id_;
+    int expt_id_;
+  };
+
+  [[nodiscard]] Recorder observer_for(int64_t stream_id, int expt_id) {
+    return Recorder{*this, stream_id, expt_id};
+  }
+
+  [[nodiscard]] const std::vector<VideoSentRow>& video_sent() const {
+    return video_sent_;
+  }
+  [[nodiscard]] const std::vector<VideoAckedRow>& video_acked() const {
+    return video_acked_;
+  }
+  [[nodiscard]] const std::vector<ClientBufferRow>& client_buffer() const {
+    return client_buffer_;
+  }
+
+  /// CSV renderings with the Appendix-B field names.
+  [[nodiscard]] std::string video_sent_csv() const;
+  [[nodiscard]] std::string video_acked_csv() const;
+  [[nodiscard]] std::string client_buffer_csv() const;
+
+  /// Write all three tables to `<directory>/<prefix>_{video_sent,
+  /// video_acked, client_buffer}.csv`.
+  void write_all(const std::string& directory,
+                 const std::string& prefix = "puffer") const;
+
+ private:
+  std::vector<VideoSentRow> video_sent_;
+  std::vector<VideoAckedRow> video_acked_;
+  std::vector<ClientBufferRow> client_buffer_;
+};
+
+/// Per-stream figures recomputed *from the measurement tables alone* — the
+/// analysis a researcher performs on Puffer's public archive: transmission
+/// times by matching video_acked to video_sent, stall time from the
+/// cum_rebuf counters, quality from the ssim_index of sent chunks.
+struct AnalyzedStream {
+  int64_t stream_id = 0;
+  int expt_id = 0;
+  int chunks = 0;
+  double watch_time_s = 0.0;      ///< first to last played content
+  double stall_time_s = 0.0;      ///< final cum_rebuf
+  double startup_delay_s = 0.0;   ///< first send to first startup event
+  double ssim_mean_db = 0.0;
+  double ssim_variation_db = 0.0; ///< mean |dSSIM| between consecutive chunks
+  double mean_tx_time_s = 0.0;
+  double mean_throughput_mbps = 0.0;
+};
+
+/// Reconstruct per-stream figures from the three measurement tables.
+/// Streams appear in ascending stream_id order.
+std::vector<AnalyzedStream> analyze_open_data(
+    const std::vector<VideoSentRow>& video_sent,
+    const std::vector<VideoAckedRow>& video_acked,
+    const std::vector<ClientBufferRow>& client_buffer);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_OPEN_DATA_HH

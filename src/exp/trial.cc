@@ -1,0 +1,191 @@
+#include "exp/trial.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "media/channel.hh"
+#include "net/bbr.hh"
+#include "net/trace_models.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+
+namespace {
+
+/// Everything that defines a session independent of the assigned scheme —
+/// sampled up front so that paired (emulation-style) runs can replay the
+/// exact same conditions for every scheme.
+struct SessionPlan {
+  sim::SessionBehavior session;
+  std::vector<sim::UserBehavior> stream_behaviors;
+  std::vector<int> channels;
+  std::vector<uint64_t> video_seeds;
+  std::optional<net::NetworkPath> path;
+  uint64_t run_seed = 0;
+};
+
+SessionPlan make_plan(Rng& rng, const sim::UserModel& users,
+                      const PathFamily family) {
+  SessionPlan plan;
+  plan.session = users.sample_session(rng);
+  double total_intent_s = 0.0;
+  for (int k = 0; k < plan.session.num_streams; k++) {
+    plan.stream_behaviors.push_back(users.sample_stream_behavior(rng));
+    total_intent_s += plan.stream_behaviors.back().watch_intent_s;
+    plan.channels.push_back(static_cast<int>(
+        rng.uniform_int(0, media::kNumChannels - 1)));
+    plan.video_seeds.push_back(rng.engine()());
+  }
+  const double trace_duration_s =
+      std::min(1.25 * total_intent_s + 900.0, 18.0 * 3600.0);
+
+  Rng path_rng = rng.split("path");
+  if (family == PathFamily::kPuffer) {
+    static const net::PufferPathModel model{};
+    plan.path = model.sample_path(path_rng, trace_duration_s);
+  } else {
+    static const net::FccTraceModel model{};
+    plan.path = model.sample_path(path_rng, trace_duration_s);
+  }
+  plan.run_seed = rng.engine()();
+  return plan;
+}
+
+/// Run one session with one scheme; appends results.
+void run_session(const SessionPlan& plan, abr::AbrAlgorithm& algo,
+                 SchemeResult& result, const TrialConfig& config) {
+  result.consort.sessions++;
+
+  if (plan.session.incompatible_or_bounce) {
+    // Page loaded but video never played (incompatible browser / bounce).
+    result.consort.streams++;
+    result.consort.never_began++;
+    return;
+  }
+
+  Rng run_rng{plan.run_seed};
+  algo.reset_session();
+  net::TcpSender sender{*plan.path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(*plan.path)};
+  sim::send_preamble(sender);
+
+  double session_duration_s = 0.0;
+  bool any_considered = false;
+
+  for (int k = 0; k < plan.session.num_streams; k++) {
+    media::VbrVideoSource video{
+        media::default_channels()[static_cast<size_t>(
+            plan.channels[static_cast<size_t>(k)])],
+        plan.video_seeds[static_cast<size_t>(k)]};
+
+    const sim::StreamOutcome outcome = sim::run_stream(
+        sender, algo, video, /*first_chunk=*/0,
+        plan.stream_behaviors[static_cast<size_t>(k)], run_rng, config.stream);
+
+    result.consort.streams++;
+    session_duration_s += outcome.wall_time_s;
+
+    if (outcome.decoder_failure) {
+      result.consort.decoder_failure++;
+    } else if (!outcome.began_playing) {
+      result.consort.never_began++;
+    } else if (outcome.figures.watch_time_s < config.min_watch_time_s) {
+      result.consort.under_min_watch++;
+    } else {
+      result.consort.considered++;
+      if (run_rng.bernoulli(0.011)) {
+        result.consort.truncated++;  // loss of contact; still considered
+      }
+      result.considered.push_back(outcome.figures);
+      any_considered = true;
+    }
+
+    if (config.collect_logs && outcome.transfer_log.size() >= 2) {
+      fugu::StreamLog log;
+      log.day = config.day;
+      log.chunks.reserve(outcome.transfer_log.size());
+      for (const auto& entry : outcome.transfer_log) {
+        log.chunks.push_back({entry.size_mb, entry.tx_time_s, entry.tcp_at_send});
+      }
+      result.logs.push_back(std::move(log));
+    }
+  }
+
+  if (any_considered) {
+    result.session_durations_s.push_back(session_duration_s);
+  }
+}
+
+}  // namespace
+
+std::vector<stats::StreamFigures> SchemeResult::slow_paths(
+    const double threshold_mbps) const {
+  std::vector<stats::StreamFigures> slow;
+  for (const auto& figures : considered) {
+    if (figures.mean_delivery_rate_mbps < threshold_mbps &&
+        figures.mean_delivery_rate_mbps > 0.0) {
+      slow.push_back(figures);
+    }
+  }
+  return slow;
+}
+
+const SchemeResult& TrialResult::result_for(const std::string& name) const {
+  for (const auto& scheme : schemes) {
+    if (scheme.scheme == name) {
+      return scheme;
+    }
+  }
+  require(false, "TrialResult: no scheme named '" + name + "'");
+  return schemes.front();  // unreachable
+}
+
+TrialResult run_trial(const TrialConfig& config,
+                      const SchemeArtifacts& artifacts) {
+  return run_trial(config, [&artifacts](const std::string& name) {
+    return make_scheme(name, artifacts);
+  });
+}
+
+TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory) {
+  require(!config.schemes.empty(), "run_trial: need at least one scheme");
+  const auto num_schemes = config.schemes.size();
+
+  TrialResult trial;
+  std::vector<std::unique_ptr<abr::AbrAlgorithm>> algorithms;
+  for (const auto& name : config.schemes) {
+    trial.schemes.push_back(SchemeResult{});
+    trial.schemes.back().scheme = name;
+    algorithms.push_back(factory(name));
+    require(algorithms.back() != nullptr,
+            "run_trial: factory returned null for '" + name + "'");
+  }
+
+  const sim::UserModel users{config.seed};
+  Rng master{config.seed};
+
+  const int64_t num_session_plans =
+      static_cast<int64_t>(config.sessions_per_scheme) *
+      (config.paired_paths ? 1 : static_cast<int64_t>(num_schemes));
+
+  for (int64_t s = 0; s < num_session_plans; s++) {
+    Rng session_rng = master.split(static_cast<uint64_t>(s));
+    SessionPlan plan =
+        make_plan(session_rng, users, config.paths);
+
+    if (config.paired_paths) {
+      // Emulation-style: every scheme experiences the identical session.
+      for (size_t a = 0; a < num_schemes; a++) {
+        run_session(plan, *algorithms[a], trial.schemes[a], config);
+      }
+    } else {
+      // RCT: blinded random assignment of the session to one scheme.
+      const auto a = static_cast<size_t>(session_rng.uniform_int(
+          0, static_cast<int64_t>(num_schemes) - 1));
+      run_session(plan, *algorithms[a], trial.schemes[a], config);
+    }
+  }
+  return trial;
+}
+
+}  // namespace puffer::exp

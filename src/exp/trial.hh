@@ -1,0 +1,80 @@
+#ifndef PUFFER_EXP_TRIAL_HH
+#define PUFFER_EXP_TRIAL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hh"
+#include "fugu/dataset.hh"
+#include "sim/session.hh"
+#include "stats/summary.hh"
+
+namespace puffer::exp {
+
+/// Which world sessions stream over: the deployment-like heavy-tailed paths
+/// or the FCC-trace mahimahi-style emulation (Figure 11's contrast).
+enum class PathFamily { kPuffer, kFccEmulation };
+
+struct TrialConfig {
+  std::vector<std::string> schemes = {"Fugu", "MPC-HM", "RobustMPC-HM",
+                                      "Pensieve", "BBA"};
+  int sessions_per_scheme = 400;
+  PathFamily paths = PathFamily::kPuffer;
+  uint64_t seed = 1;
+  /// Paired mode: every scheme sees the same sequence of sessions (paths,
+  /// users, videos). This is what emulators allow and real RCTs cannot do
+  /// (section 5.3) — used for the Figure 11 emulation panel.
+  bool paired_paths = false;
+  /// Collect per-chunk transfer logs for TTP training.
+  bool collect_logs = false;
+  int day = 0;  ///< day tag for collected logs
+  sim::StreamRunConfig stream;
+  double min_watch_time_s = 4.0;  ///< exclusion threshold (Figure A1)
+};
+
+/// Figure A1-style accounting.
+struct ConsortCounts {
+  int64_t sessions = 0;
+  int64_t streams = 0;
+  int64_t never_began = 0;
+  int64_t under_min_watch = 0;
+  int64_t decoder_failure = 0;
+  int64_t truncated = 0;  ///< loss of contact (still considered)
+  int64_t considered = 0;
+};
+
+struct SchemeResult {
+  std::string scheme;
+  std::vector<stats::StreamFigures> considered;
+  std::vector<double> session_durations_s;  ///< total time on player, per session
+  ConsortCounts consort;
+  fugu::TtpDataset logs;  ///< non-empty when collect_logs
+
+  /// Subset of considered streams on slow paths (mean delivery rate below
+  /// `threshold_mbps`, Figure 8 right panel).
+  [[nodiscard]] std::vector<stats::StreamFigures> slow_paths(
+      double threshold_mbps = 6.0) const;
+};
+
+struct TrialResult {
+  std::vector<SchemeResult> schemes;
+
+  [[nodiscard]] const SchemeResult& result_for(const std::string& name) const;
+};
+
+/// Run a randomized controlled trial: sessions are blindly assigned to
+/// schemes, streamed over sampled paths with sampled viewer behaviour, and
+/// accounted per Figure A1.
+TrialResult run_trial(const TrialConfig& config,
+                      const SchemeArtifacts& artifacts);
+
+/// Same, with a custom scheme factory (for experiment arms outside the
+/// standard registry, e.g. stale-TTP Fugu variants in the staleness study).
+using SchemeFactory =
+    std::function<std::unique_ptr<abr::AbrAlgorithm>(const std::string&)>;
+TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_TRIAL_HH

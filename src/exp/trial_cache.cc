@@ -1,0 +1,166 @@
+#include "exp/trial_cache.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/models.hh"
+#include "util/require.hh"
+#include "util/rng.hh"
+
+namespace puffer::exp {
+
+namespace {
+
+constexpr uint32_t kTrialMagic = 0x5054524c;  // "PTRL"
+
+void write_u64(std::ostream& out, const uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  require(bool(in), "trial cache: truncated stream");
+  return value;
+}
+
+void write_f64(std::ostream& out, const double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+double read_f64(std::istream& in) {
+  double value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  require(bool(in), "trial cache: truncated stream");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const uint64_t n = read_u64(in);
+  require(n < (1u << 20), "trial cache: implausible string length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  require(bool(in), "trial cache: truncated stream");
+  return s;
+}
+
+void write_figures(std::ostream& out, const stats::StreamFigures& f) {
+  write_f64(out, f.watch_time_s);
+  write_f64(out, f.stall_time_s);
+  write_f64(out, f.startup_delay_s);
+  write_f64(out, f.ssim_mean_db);
+  write_f64(out, f.ssim_variation_db);
+  write_f64(out, f.first_chunk_ssim_db);
+  write_f64(out, f.mean_bitrate_mbps);
+  write_f64(out, f.mean_delivery_rate_mbps);
+}
+
+stats::StreamFigures read_figures(std::istream& in) {
+  stats::StreamFigures f;
+  f.watch_time_s = read_f64(in);
+  f.stall_time_s = read_f64(in);
+  f.startup_delay_s = read_f64(in);
+  f.ssim_mean_db = read_f64(in);
+  f.ssim_variation_db = read_f64(in);
+  f.first_chunk_ssim_db = read_f64(in);
+  f.mean_bitrate_mbps = read_f64(in);
+  f.mean_delivery_rate_mbps = read_f64(in);
+  return f;
+}
+
+uint64_t config_fingerprint(const TrialConfig& config) {
+  std::ostringstream key;
+  for (const auto& scheme : config.schemes) {
+    key << scheme << '|';
+  }
+  key << config.sessions_per_scheme << '|'
+      << static_cast<int>(config.paths) << '|' << config.seed << '|'
+      << config.paired_paths << '|' << config.min_watch_time_s << '|'
+      << config.stream.max_buffer_s << '|' << config.stream.lookahead_chunks
+      << '|' << config.stream.player_init_delay_s;
+  return stable_hash(key.str());
+}
+
+}  // namespace
+
+void save_trial(const TrialResult& trial, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_trial: cannot open " + path);
+  write_u64(out, kTrialMagic);
+  write_u64(out, trial.schemes.size());
+  for (const auto& scheme : trial.schemes) {
+    write_string(out, scheme.scheme);
+    write_u64(out, scheme.considered.size());
+    for (const auto& figures : scheme.considered) {
+      write_figures(out, figures);
+    }
+    write_u64(out, scheme.session_durations_s.size());
+    for (const double d : scheme.session_durations_s) {
+      write_f64(out, d);
+    }
+    const auto& c = scheme.consort;
+    write_u64(out, static_cast<uint64_t>(c.sessions));
+    write_u64(out, static_cast<uint64_t>(c.streams));
+    write_u64(out, static_cast<uint64_t>(c.never_began));
+    write_u64(out, static_cast<uint64_t>(c.under_min_watch));
+    write_u64(out, static_cast<uint64_t>(c.decoder_failure));
+    write_u64(out, static_cast<uint64_t>(c.truncated));
+    write_u64(out, static_cast<uint64_t>(c.considered));
+  }
+}
+
+std::optional<TrialResult> try_load_trial(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  if (read_u64(in) != kTrialMagic) {
+    return std::nullopt;
+  }
+  TrialResult trial;
+  const uint64_t num_schemes = read_u64(in);
+  for (uint64_t s = 0; s < num_schemes; s++) {
+    SchemeResult result;
+    result.scheme = read_string(in);
+    const uint64_t num_figures = read_u64(in);
+    result.considered.reserve(num_figures);
+    for (uint64_t i = 0; i < num_figures; i++) {
+      result.considered.push_back(read_figures(in));
+    }
+    const uint64_t num_durations = read_u64(in);
+    result.session_durations_s.reserve(num_durations);
+    for (uint64_t i = 0; i < num_durations; i++) {
+      result.session_durations_s.push_back(read_f64(in));
+    }
+    auto& c = result.consort;
+    c.sessions = static_cast<int64_t>(read_u64(in));
+    c.streams = static_cast<int64_t>(read_u64(in));
+    c.never_began = static_cast<int64_t>(read_u64(in));
+    c.under_min_watch = static_cast<int64_t>(read_u64(in));
+    c.decoder_failure = static_cast<int64_t>(read_u64(in));
+    c.truncated = static_cast<int64_t>(read_u64(in));
+    c.considered = static_cast<int64_t>(read_u64(in));
+    trial.schemes.push_back(std::move(result));
+  }
+  return trial;
+}
+
+TrialResult run_trial_cached(const TrialConfig& config,
+                             const SchemeArtifacts& artifacts,
+                             const std::string& label) {
+  const std::string path = model_cache_dir() + "/trial_" + label + "_" +
+                           std::to_string(config_fingerprint(config)) + ".bin";
+  if (auto cached = try_load_trial(path)) {
+    return std::move(*cached);
+  }
+  TrialResult trial = run_trial(config, artifacts);
+  save_trial(trial, path);
+  return trial;
+}
+
+}  // namespace puffer::exp

@@ -1,0 +1,28 @@
+#include "fugu/dataset.hh"
+
+namespace puffer::fugu {
+
+void DataAggregator::add_stream(StreamLog log) {
+  streams_.push_back(std::move(log));
+}
+
+TtpDataset DataAggregator::window(const int current_day,
+                                  const int window_days) const {
+  TtpDataset result;
+  for (const auto& stream : streams_) {
+    if (stream.day > current_day - window_days && stream.day <= current_day) {
+      result.push_back(stream);
+    }
+  }
+  return result;
+}
+
+size_t DataAggregator::num_chunks() const {
+  size_t total = 0;
+  for (const auto& stream : streams_) {
+    total += stream.chunks.size();
+  }
+  return total;
+}
+
+}  // namespace puffer::fugu

@@ -1,0 +1,51 @@
+#ifndef PUFFER_FUGU_DATASET_HH
+#define PUFFER_FUGU_DATASET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/tcp_info.hh"
+
+namespace puffer::fugu {
+
+/// One chunk transfer as logged by the video server — the raw telemetry from
+/// which TTP training examples are built (paper section 4.3 and Appendix B's
+/// video_sent / video_acked measurements).
+struct ChunkLog {
+  double size_mb = 0.0;
+  double tx_time_s = 0.0;
+  net::TcpInfo tcp_at_send;
+};
+
+/// Chunk logs of one stream, in order, tagged with the (simulated) day they
+/// were collected — the trainer's 14-day sliding window and recency
+/// weighting key off this.
+struct StreamLog {
+  int day = 0;
+  std::vector<ChunkLog> chunks;
+};
+
+using TtpDataset = std::vector<StreamLog>;
+
+/// Collects stream logs as they are produced and serves windowed views:
+/// Puffer retrains the TTP every day on the prior 14 days of data
+/// (section 4.3).
+class DataAggregator {
+ public:
+  void add_stream(StreamLog log);
+
+  /// Streams with day in (current_day - window_days, current_day].
+  [[nodiscard]] TtpDataset window(int current_day, int window_days = 14) const;
+
+  [[nodiscard]] size_t num_streams() const { return streams_.size(); }
+  [[nodiscard]] size_t num_chunks() const;
+  [[nodiscard]] const TtpDataset& all() const { return streams_; }
+
+ private:
+  TtpDataset streams_;
+};
+
+}  // namespace puffer::fugu
+
+#endif  // PUFFER_FUGU_DATASET_HH

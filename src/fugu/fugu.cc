@@ -1,0 +1,17 @@
+#include "fugu/fugu.hh"
+
+#include "fugu/ttp_predictor.hh"
+
+namespace puffer::fugu {
+
+std::unique_ptr<abr::MpcAbr> make_fugu(std::shared_ptr<const TtpModel> model,
+                                       std::string name,
+                                       const bool point_estimate,
+                                       const abr::MpcConfig mpc_config) {
+  auto predictor =
+      std::make_unique<TtpPredictor>(std::move(model), point_estimate);
+  return std::make_unique<abr::MpcAbr>(std::move(name), std::move(predictor),
+                                       mpc_config);
+}
+
+}  // namespace puffer::fugu

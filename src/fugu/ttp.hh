@@ -1,0 +1,110 @@
+#ifndef PUFFER_FUGU_TTP_HH
+#define PUFFER_FUGU_TTP_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "abr/predictor.hh"
+#include "net/tcp_info.hh"
+#include "nn/mlp.hh"
+#include "util/rng.hh"
+
+namespace puffer::fugu {
+
+/// Number of past chunks the TTP conditions on (t = 8, paper section 4.5).
+inline constexpr int kTtpHistory = 8;
+
+/// Number of discretized transmission-time bins: [0, 0.25), [0.25, 0.75),
+/// ..., [9.75, inf) — 0.5 s bins except the first and last (section 4.5).
+inline constexpr int kTtpBins = 21;
+
+/// Map a transmission time to its bin.
+int ttp_bin_of(double tx_time_s);
+/// Representative value (midpoint) of a bin, used when converting the
+/// distribution into planning outcomes; the open last bin uses 10.5 s.
+double ttp_bin_midpoint(int bin);
+
+/// Bins for the "Throughput Predictor" ablation (Figure 7): 21 log-spaced
+/// throughput bins over 0.05..500 Mbit/s; transmission time is then derived
+/// as size / throughput, ignoring the nonlinear size dependence the real TTP
+/// captures.
+int throughput_bin_of(double throughput_bps);
+double throughput_bin_midpoint_bps(int bin);
+
+/// What the network predicts — the real TTP predicts transmission time of a
+/// specific proposed chunk; the ablation predicts throughput only.
+enum class TtpTarget { kTransmissionTime, kThroughput };
+
+/// Architecture/featurization knobs. The defaults are the paper's TTP; the
+/// other settings produce the Figure 7 ablation variants.
+struct TtpConfig {
+  int history = kTtpHistory;
+  bool use_tcp_info = true;
+  TtpTarget target = TtpTarget::kTransmissionTime;
+  std::vector<size_t> hidden_layers = {64, 64};  ///< {} = linear model
+  int horizon = 5;  ///< one network per future step (section 4.2)
+
+  [[nodiscard]] int input_dim() const;
+};
+
+/// Rolling history of past chunk transfers, maintained per connection.
+struct TtpHistory {
+  std::deque<double> sizes_mb;
+  std::deque<double> tx_times_s;
+
+  void record(double size_mb, double tx_time_s, int max_history);
+  void clear();
+};
+
+/// Build the TTP input vector for a given config. Featurization depends only
+/// on the config (not on network weights), so training-data pipelines can
+/// featurize without a model instance.
+std::vector<float> ttp_featurize(const TtpConfig& config,
+                                 const TtpHistory& history,
+                                 const net::TcpInfo& tcp,
+                                 int64_t proposed_size_bytes);
+
+/// Training label for an observed transfer under a given config.
+int ttp_label_of(const TtpConfig& config, double tx_time_s, double size_mb);
+
+/// The Transmission Time Predictor: `horizon` fully-connected networks, one
+/// per future step, each mapping (past chunk sizes, past transmission times,
+/// tcp_info, proposed size) to a probability distribution over transmission
+/// time (section 4.2).
+class TtpModel {
+ public:
+  TtpModel(TtpConfig config, uint64_t seed);
+
+  [[nodiscard]] const TtpConfig& config() const { return config_; }
+
+  /// Build the input feature vector.
+  [[nodiscard]] std::vector<float> featurize(const TtpHistory& history,
+                                             const net::TcpInfo& tcp,
+                                             int64_t proposed_size_bytes) const;
+
+  /// Full probability distribution over bins for horizon step `step`.
+  [[nodiscard]] std::vector<float> predict_bins(
+      int step, const std::vector<float>& features) const;
+
+  /// Distribution over transmission times for a proposed chunk, already
+  /// converted from bins (and from throughput bins for the ablation).
+  [[nodiscard]] abr::TxTimeDistribution predict_tx_time(
+      int step, const TtpHistory& history, const net::TcpInfo& tcp,
+      int64_t proposed_size_bytes) const;
+
+  [[nodiscard]] int label_of(double tx_time_s, double size_mb) const;
+
+  std::vector<nn::Mlp>& networks() { return networks_; }
+  [[nodiscard]] const std::vector<nn::Mlp>& networks() const {
+    return networks_;
+  }
+
+ private:
+  TtpConfig config_;
+  std::vector<nn::Mlp> networks_;  ///< one per horizon step
+};
+
+}  // namespace puffer::fugu
+
+#endif  // PUFFER_FUGU_TTP_HH

@@ -1,0 +1,44 @@
+#include "fugu/ttp_predictor.hh"
+
+#include <algorithm>
+
+#include "util/require.hh"
+
+namespace puffer::fugu {
+
+TtpPredictor::TtpPredictor(std::shared_ptr<const TtpModel> model,
+                           const bool point_estimate)
+    : model_(std::move(model)), point_estimate_(point_estimate) {
+  require(model_ != nullptr, "TtpPredictor: model required");
+}
+
+void TtpPredictor::begin_decision(const abr::AbrObservation& obs) {
+  current_tcp_ = obs.tcp;
+}
+
+abr::TxTimeDistribution TtpPredictor::predict(const int step,
+                                              const int64_t size_bytes) {
+  abr::TxTimeDistribution dist =
+      model_->predict_tx_time(step, history_, current_tcp_, size_bytes);
+  if (point_estimate_) {
+    const auto best =
+        std::max_element(dist.begin(), dist.end(),
+                         [](const abr::TxTimeOutcome& a,
+                            const abr::TxTimeOutcome& b) {
+                           return a.probability < b.probability;
+                         });
+    return {abr::TxTimeOutcome{best->time_s, 1.0}};
+  }
+  return dist;
+}
+
+void TtpPredictor::on_chunk_complete(const abr::ChunkRecord& record) {
+  history_.record(static_cast<double>(record.size_bytes) / 1e6,
+                  record.transmission_time_s, model_->config().history);
+}
+
+void TtpPredictor::reset_session() {
+  history_.clear();
+}
+
+}  // namespace puffer::fugu

@@ -1,0 +1,40 @@
+#ifndef PUFFER_FUGU_TTP_PREDICTOR_HH
+#define PUFFER_FUGU_TTP_PREDICTOR_HH
+
+#include <memory>
+
+#include "abr/predictor.hh"
+#include "fugu/ttp.hh"
+
+namespace puffer::fugu {
+
+/// Adapts a trained TtpModel to the TxTimePredictor interface that
+/// StochasticMpc consumes. Maintains the rolling per-connection history of
+/// chunk sizes / transmission times and snapshots tcp_info at each decision.
+///
+/// `point_estimate` collapses the distribution to its max-likelihood bin —
+/// the paper's "Point Estimate" ablation, whose deployed rebuffering ratio
+/// was 3-9x worse (section 4.6).
+class TtpPredictor final : public abr::TxTimePredictor {
+ public:
+  explicit TtpPredictor(std::shared_ptr<const TtpModel> model,
+                        bool point_estimate = false);
+
+  void begin_decision(const abr::AbrObservation& obs) override;
+  abr::TxTimeDistribution predict(int step, int64_t size_bytes) override;
+  void on_chunk_complete(const abr::ChunkRecord& record) override;
+  void reset_session() override;
+
+  [[nodiscard]] const TtpModel& model() const { return *model_; }
+  [[nodiscard]] const TtpHistory& history() const { return history_; }
+
+ private:
+  std::shared_ptr<const TtpModel> model_;
+  bool point_estimate_;
+  TtpHistory history_;
+  net::TcpInfo current_tcp_;
+};
+
+}  // namespace puffer::fugu
+
+#endif  // PUFFER_FUGU_TTP_PREDICTOR_HH

@@ -1,0 +1,19 @@
+#include "media/channel.hh"
+
+namespace puffer::media {
+
+const std::array<ChannelProfile, kNumChannels>& default_channels() {
+  // Log-complexity means are centered near zero (complexity 1.0) with
+  // per-channel character: sports cut often and run hot; news is static.
+  static const std::array<ChannelProfile, kNumChannels> channels = {{
+      {"nbc-sports", 0.18, 0.22, 0.10, 0.55},
+      {"cbs-drama", -0.08, 0.15, 0.05, 0.45},
+      {"abc-news", -0.42, 0.10, 0.03, 0.35},
+      {"fox-sitcom", -0.24, 0.14, 0.05, 0.40},
+      {"pbs-documentary", -0.18, 0.12, 0.04, 0.40},
+      {"cw-movies", 0.02, 0.18, 0.06, 0.50},
+  }};
+  return channels;
+}
+
+}  // namespace puffer::media

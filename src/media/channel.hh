@@ -1,0 +1,27 @@
+#ifndef PUFFER_MEDIA_CHANNEL_HH
+#define PUFFER_MEDIA_CHANNEL_HH
+
+#include <array>
+#include <string>
+
+namespace puffer::media {
+
+/// Content profile of one simulated over-the-air TV channel. Puffer streams
+/// six channels (section 3); they differ in how demanding the content is
+/// (sports vs. news vs. sitcoms), which drives the VBR complexity process.
+struct ChannelProfile {
+  std::string name;
+  double mean_log_complexity;   ///< mean of the log-complexity process
+  double complexity_volatility; ///< innovation stddev of the AR(1) process
+  double scene_cut_rate;        ///< probability of a scene cut per chunk
+  double scene_cut_spread;      ///< stddev of log-complexity after a cut
+};
+
+inline constexpr int kNumChannels = 6;
+
+/// The six simulated channels.
+const std::array<ChannelProfile, kNumChannels>& default_channels();
+
+}  // namespace puffer::media
+
+#endif  // PUFFER_MEDIA_CHANNEL_HH

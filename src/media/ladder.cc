@@ -1,0 +1,28 @@
+#include "media/ladder.hh"
+
+#include <cmath>
+
+namespace puffer::media {
+
+const std::array<Rung, kNumRungs>& default_ladder() {
+  static const std::array<Rung, kNumRungs> ladder = {{
+      {0, 240, 26, 0.20, "240p60-crf26"},
+      {1, 360, 26, 0.40, "360p60-crf26"},
+      {2, 480, 26, 0.70, "480p60-crf26"},
+      {3, 480, 22, 1.10, "480p60-crf22"},
+      {4, 720, 26, 1.60, "720p60-crf26"},
+      {5, 720, 24, 2.30, "720p60-crf24"},
+      {6, 720, 22, 3.00, "720p60-crf22"},
+      {7, 1080, 26, 3.80, "1080p60-crf26"},
+      {8, 1080, 23, 4.70, "1080p60-crf23"},
+      {9, 1080, 20, 5.50, "1080p60-crf20"},
+  }};
+  return ladder;
+}
+
+int64_t nominal_chunk_bytes(const Rung& rung) {
+  return static_cast<int64_t>(
+      std::llround(rung.nominal_bitrate_mbps * 1e6 / 8.0 * kChunkDurationS));
+}
+
+}  // namespace puffer::media

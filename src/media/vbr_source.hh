@@ -1,0 +1,68 @@
+#ifndef PUFFER_MEDIA_VBR_SOURCE_HH
+#define PUFFER_MEDIA_VBR_SOURCE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "media/channel.hh"
+#include "media/ladder.hh"
+#include "util/rng.hh"
+
+namespace puffer::media {
+
+/// One encoded version of one chunk.
+struct ChunkVersion {
+  int rung = 0;
+  int64_t size_bytes = 0;
+  double ssim_db = 0.0;
+};
+
+/// All ten encoded versions of one chunk — the "menu" an ABR scheme picks
+/// from at each chunk boundary.
+struct ChunkOptions {
+  int64_t chunk_index = 0;
+  std::array<ChunkVersion, kNumRungs> versions;
+
+  [[nodiscard]] const ChunkVersion& version(const int rung) const {
+    return versions[static_cast<size_t>(rung)];
+  }
+};
+
+/// Synthetic VBR video source for one channel.
+///
+/// Substitutes for Puffer's live ATSC decode + libx264 encode + ffmpeg SSIM
+/// pipeline. A scene-complexity process (AR(1) in log space with occasional
+/// scene cuts) drives, for every chunk, the compressed size and SSIM of each
+/// ladder rung. This reproduces the within-stream variability of Figure 3:
+/// chunk sizes on the top rung span roughly 0.3-6 MB and SSIM spans several
+/// dB, while the rate-quality curve stays concave (Figure 4's premise).
+///
+/// Chunks are generated lazily and memoized, so a source behaves as an
+/// unbounded live stream; the same (profile, seed) always yields the same
+/// stream.
+class VbrVideoSource {
+ public:
+  VbrVideoSource(const ChannelProfile& profile, uint64_t seed);
+
+  /// The menu of versions for chunk `index` (extends the stream on demand).
+  const ChunkOptions& chunk_options(int64_t index);
+
+  [[nodiscard]] const ChannelProfile& profile() const { return profile_; }
+  [[nodiscard]] double chunk_duration() const { return kChunkDurationS; }
+
+  /// Scene complexity of chunk `index` (exposed for tests / Figure 3).
+  double complexity(int64_t index);
+
+ private:
+  void extend_to(int64_t index);
+
+  ChannelProfile profile_;
+  Rng rng_;
+  std::vector<double> log_complexity_;
+  std::vector<ChunkOptions> chunks_;
+};
+
+}  // namespace puffer::media
+
+#endif  // PUFFER_MEDIA_VBR_SOURCE_HH

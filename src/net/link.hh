@@ -1,0 +1,45 @@
+#ifndef PUFFER_NET_LINK_HH
+#define PUFFER_NET_LINK_HH
+
+#include "net/trace.hh"
+
+namespace puffer::net {
+
+/// Result of advancing the link by one fluid step.
+struct LinkStepResult {
+  double delivered_bytes = 0.0;  ///< bytes that exited the bottleneck
+  double queue_delay_s = 0.0;    ///< queueing delay seen at the end of step
+  double lost_bytes = 0.0;       ///< drop-tail losses during the step
+};
+
+/// Fluid model of a single bottleneck link with a drop-tail queue, fed by one
+/// flow (each Puffer session has its own TCP connection; the bottleneck is
+/// the client's access link). Capacity follows a ThroughputTrace.
+class LinkSimulator {
+ public:
+  /// `queue_capacity_bytes`: drop-tail buffer size. A common access-link
+  /// provisioning is ~1 BDP to several BDP; callers compute it from the path.
+  LinkSimulator(const ThroughputTrace& trace, double queue_capacity_bytes);
+
+  /// Offer `offered_bytes` into the queue and drain at trace capacity for
+  /// `dt` seconds starting at `now_s`.
+  LinkStepResult step(double now_s, double dt, double offered_bytes);
+
+  /// Drain the queue for `dt` seconds with no arrivals (idle application).
+  void drain(double now_s, double dt);
+
+  [[nodiscard]] double queue_bytes() const { return queue_bytes_; }
+  [[nodiscard]] double queue_capacity() const { return queue_capacity_bytes_; }
+  [[nodiscard]] double capacity_at(double now_s) const {
+    return trace_->capacity_at(now_s);
+  }
+
+ private:
+  const ThroughputTrace* trace_;
+  double queue_capacity_bytes_;
+  double queue_bytes_ = 0.0;
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_LINK_HH

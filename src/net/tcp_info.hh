@@ -1,0 +1,20 @@
+#ifndef PUFFER_NET_TCP_INFO_HH
+#define PUFFER_NET_TCP_INFO_HH
+
+namespace puffer::net {
+
+/// The congestion-control statistics Fugu's TTP consumes, mirroring the
+/// fields of the Linux kernel's tcp_info structure that the paper lists
+/// (section 4.2 and Appendix B): cwnd, packets in flight, min RTT, smoothed
+/// RTT, and the delivery-rate estimate.
+struct TcpInfo {
+  double cwnd_pkts = 10.0;          ///< tcpi_snd_cwnd
+  double in_flight_pkts = 0.0;      ///< unacked - sacked - lost + retrans
+  double min_rtt_s = 0.0;           ///< tcpi_min_rtt
+  double srtt_s = 0.0;              ///< tcpi_rtt (smoothed)
+  double delivery_rate_bps = 0.0;   ///< tcpi_delivery_rate, bytes per second
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_TCP_INFO_HH

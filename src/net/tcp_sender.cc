@@ -1,0 +1,179 @@
+#include "net/tcp_sender.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::net {
+
+namespace {
+
+constexpr double kMssBytes = 1500.0;
+constexpr double kMinStepS = 0.002;
+constexpr double kMaxStepS = 0.025;
+
+}  // namespace
+
+TcpSender::TcpSender(const NetworkPath& path,
+                     std::unique_ptr<CongestionControl> cc,
+                     const double queue_capacity_bytes)
+    : path_(&path), link_(path.trace, queue_capacity_bytes), cc_(std::move(cc)) {
+  require(cc_ != nullptr, "TcpSender: congestion control required");
+  info_.min_rtt_s = path.min_rtt_s;
+  info_.srtt_s = path.min_rtt_s;
+  info_.cwnd_pkts = 10.0;
+  info_.in_flight_pkts = 0.0;
+  info_.delivery_rate_bps = 0.0;
+}
+
+double TcpSender::default_queue_capacity(const NetworkPath& path) {
+  // Access links commonly buffer on the order of one to a few BDP worth of
+  // data at the path's typical rate; floor at 64 kB so slow links still have
+  // a usable buffer.
+  const double typical_bdp = path.trace.mean_rate() * path.min_rtt_s;
+  return std::max(2.0 * typical_bdp, 64.0 * 1024.0);
+}
+
+void TcpSender::step(const double dt, double& remaining_send) {
+  // 1. How much may we push this step?
+  const double cwnd = cc_->cwnd_bytes();
+  const double window_room = std::max(0.0, cwnd - in_flight_bytes_);
+  double can_send = window_room;
+  const double pacing = cc_->pacing_rate_bps();
+  if (pacing > 0.0) {
+    can_send = std::min(can_send, pacing * dt);
+  }
+  const double offered = std::min(can_send, remaining_send);
+  const bool app_limited = remaining_send < can_send;
+  remaining_send -= offered;
+  sent_total_ += offered;
+  in_flight_bytes_ += offered;
+
+  // 2. Drive the link.
+  const LinkStepResult link_result = link_.step(now_s_, dt, offered);
+  now_s_ += dt;
+
+  // 3. Losses: SACK-style instant recovery — retransmit by putting the bytes
+  // back into the send queue and removing them from the flight ledger.
+  if (link_result.lost_bytes > 0.0) {
+    remaining_send += link_result.lost_bytes;
+    sent_total_ -= link_result.lost_bytes;
+    in_flight_bytes_ =
+        std::max(0.0, in_flight_bytes_ - link_result.lost_bytes);
+  }
+
+  // 4. Delivered bytes reach the client now; their acks return one RTT after
+  // the send-to-delivery path, approximated as min_rtt later.
+  double rtt_sample = 0.0;
+  if (link_result.delivered_bytes > 0.0) {
+    delivered_total_ += link_result.delivered_bytes;
+    rtt_sample = path_->min_rtt_s + link_result.queue_delay_s;
+    pending_acks_.emplace_back(now_s_ + path_->min_rtt_s,
+                               link_result.delivered_bytes);
+  }
+
+  // 5. Process acks whose return time has passed.
+  double acked = 0.0;
+  while (!pending_acks_.empty() && pending_acks_.front().first <= now_s_) {
+    acked += pending_acks_.front().second;
+    pending_acks_.pop_front();
+  }
+  in_flight_bytes_ = std::max(0.0, in_flight_bytes_ - acked);
+
+  // 6. Delivery-rate estimate: delivered bytes over a ~1 sRTT window.
+  delivery_window_.emplace_back(now_s_, link_result.delivered_bytes);
+  delivery_window_bytes_ += link_result.delivered_bytes;
+  const double window_len = std::max(info_.srtt_s, 4.0 * dt);
+  while (!delivery_window_.empty() &&
+         delivery_window_.front().first < now_s_ - window_len) {
+    delivery_window_bytes_ -= delivery_window_.front().second;
+    delivery_window_.pop_front();
+  }
+  // The exported tcpi_delivery_rate is sticky: the kernel reports the last
+  // measured rate rather than decaying to zero during app-limited idling.
+  const double delivery_rate = delivery_window_bytes_ / window_len;
+  if (link_result.delivered_bytes > 0.0) {
+    info_.delivery_rate_bps = delivery_rate;
+  }
+
+  // 7. Smoothed RTT.
+  if (rtt_sample > 0.0) {
+    const double alpha = std::clamp(dt / std::max(info_.srtt_s, 1e-3), 0.02, 0.4);
+    info_.srtt_s += alpha * (rtt_sample - info_.srtt_s);
+    info_.min_rtt_s = std::min(info_.min_rtt_s, rtt_sample);
+  }
+
+  // 8. Feed the congestion controller.
+  CcSample sample;
+  sample.now_s = now_s_;
+  sample.dt_s = dt;
+  sample.acked_bytes = acked;
+  sample.rtt_sample_s = rtt_sample;
+  sample.min_rtt_s = info_.min_rtt_s;
+  sample.delivery_rate_bps = delivery_rate;
+  sample.in_flight_bytes = in_flight_bytes_;
+  sample.loss = link_result.lost_bytes > 0.0;
+  sample.app_limited = app_limited;
+  cc_->on_sample(sample);
+
+  // 9. Export tcp_info.
+  info_.cwnd_pkts = cc_->cwnd_bytes() / kMssBytes;
+  info_.in_flight_pkts = in_flight_bytes_ / kMssBytes;
+}
+
+TransferResult TcpSender::transfer(const double bytes) {
+  require(bytes > 0.0, "TcpSender::transfer: bytes must be positive");
+  TransferResult result;
+  result.start_s = now_s_;
+
+  // One byte of slack absorbs floating-point accumulation error across the
+  // (possibly hundreds of thousands of) fluid steps of a long transfer.
+  const double delivery_goal = delivered_total_ + bytes - 1.0;
+  double remaining_send = bytes;
+  // Hard cap so that a total outage cannot hang the simulation: a chunk
+  // transfer is abandoned after 10 simulated minutes (far beyond any
+  // plausible player timeout, and beyond the TTP's last bin of 9.75 s+).
+  const double deadline = now_s_ + 600.0;
+
+  while (delivered_total_ < delivery_goal && now_s_ < deadline) {
+    const double before = delivered_total_;
+    const double dt = std::clamp(info_.srtt_s / 4.0, kMinStepS, kMaxStepS);
+    step(dt, remaining_send);
+    // Interpolate completion within the final step for accuracy.
+    if (delivered_total_ >= delivery_goal) {
+      const double step_delivered = delivered_total_ - before;
+      const double overshoot = delivered_total_ - delivery_goal;
+      const double fraction =
+          step_delivered > 0.0 ? overshoot / step_delivered : 0.0;
+      result.completion_s =
+          now_s_ - fraction * dt + path_->min_rtt_s / 2.0;
+      busy_time_s_ += result.completion_s - result.start_s;
+      return result;
+    }
+  }
+
+  // Outage path: report completion at the deadline.
+  result.completion_s = now_s_ + path_->min_rtt_s / 2.0;
+  busy_time_s_ += result.completion_s - result.start_s;
+  return result;
+}
+
+void TcpSender::idle_until(const double t) {
+  require(t >= now_s_, "TcpSender::idle_until: cannot go backwards");
+  // While idle the queue drains and acks come back; step the model coarsely.
+  while (now_s_ < t) {
+    const double dt = std::min(0.1, t - now_s_);
+    double nothing = 0.0;
+    step(dt, nothing);
+  }
+}
+
+double TcpSender::mean_delivery_rate() const {
+  if (busy_time_s_ <= 0.0) {
+    return 0.0;
+  }
+  return delivered_total_ / busy_time_s_;
+}
+
+}  // namespace puffer::net

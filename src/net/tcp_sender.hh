@@ -1,0 +1,90 @@
+#ifndef PUFFER_NET_TCP_SENDER_HH
+#define PUFFER_NET_TCP_SENDER_HH
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "net/congestion_control.hh"
+#include "net/link.hh"
+#include "net/tcp_info.hh"
+#include "net/trace_models.hh"
+
+namespace puffer::net {
+
+/// Result of one application-level transfer (e.g. one video chunk).
+struct TransferResult {
+  double start_s = 0.0;
+  double completion_s = 0.0;  ///< last byte arrives at the client
+  [[nodiscard]] double transmission_time() const {
+    return completion_s - start_s;
+  }
+};
+
+/// Fluid-model TCP sender over a single bottleneck path.
+///
+/// Advances an internal clock; the application (the Puffer video server)
+/// calls `transfer()` to send one chunk and `idle_until()` while waiting for
+/// client buffer room. Exposes a `TcpInfo` mirroring the kernel statistics
+/// that Fugu's TTP consumes.
+///
+/// Model notes (documented substitutions for a real kernel stack):
+///  * bytes are fluid; the in-flight ledger and ack delay-line quantize at
+///    step granularity (max(min_rtt/4, 2 ms), capped at 25 ms);
+///  * lost bytes are retransmitted immediately (SACK-style recovery) and
+///    re-enter the send queue;
+///  * delivery_rate is a windowed estimate over ~1 sRTT, marked app-limited
+///    exactly as Linux does for BBR's benefit.
+class TcpSender {
+ public:
+  TcpSender(const NetworkPath& path, std::unique_ptr<CongestionControl> cc,
+            double queue_capacity_bytes);
+
+  /// Convenience: queue sized at max(4 BDP at 25 Mbit/s-ish, 64 kB).
+  static double default_queue_capacity(const NetworkPath& path);
+
+  /// Send `bytes` to the client; returns when the last byte arrives.
+  TransferResult transfer(double bytes);
+
+  /// Let the connection sit idle (app-limited, nothing to send) until `t`.
+  void idle_until(double t);
+
+  [[nodiscard]] double now() const { return now_s_; }
+  [[nodiscard]] const TcpInfo& info() const { return info_; }
+  [[nodiscard]] const CongestionControl& congestion_control() const {
+    return *cc_;
+  }
+  [[nodiscard]] double total_delivered_bytes() const { return delivered_total_; }
+
+  /// Lifetime-average delivery rate (bytes/s) — used to classify "slow"
+  /// paths (mean tcpi_delivery_rate < 6 Mbit/s, Figure 8).
+  [[nodiscard]] double mean_delivery_rate() const;
+
+ private:
+  void step(double dt, double& remaining_send);
+
+  const NetworkPath* path_;
+  LinkSimulator link_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  double now_s_ = 0.0;
+  double sent_total_ = 0.0;
+  double delivered_total_ = 0.0;
+  double in_flight_bytes_ = 0.0;
+
+  // Delay line of (ack arrival time, bytes) for deliveries awaiting acks.
+  std::deque<std::pair<double, double>> pending_acks_;
+
+  // Delivery-rate estimation window.
+  std::deque<std::pair<double, double>> delivery_window_;
+  double delivery_window_bytes_ = 0.0;
+
+  // Time-weighted mean delivery rate over the connection's busy lifetime.
+  double busy_time_s_ = 0.0;
+
+  TcpInfo info_;
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_TCP_SENDER_HH

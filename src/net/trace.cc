@@ -1,0 +1,43 @@
+#include "net/trace.hh"
+
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::net {
+
+ThroughputTrace::ThroughputTrace(std::vector<double> rates_bps,
+                                 const double segment_duration_s)
+    : rates_bps_(std::move(rates_bps)), segment_duration_s_(segment_duration_s) {
+  require(!rates_bps_.empty(), "ThroughputTrace: need at least one segment");
+  require(segment_duration_s_ > 0.0,
+          "ThroughputTrace: segment duration must be positive");
+  for (const double rate : rates_bps_) {
+    require(rate >= 0.0, "ThroughputTrace: rates must be non-negative");
+  }
+}
+
+double ThroughputTrace::capacity_at(const double time_s) const {
+  if (time_s <= 0.0) {
+    return rates_bps_.front();
+  }
+  const auto index = static_cast<size_t>(time_s / segment_duration_s_);
+  if (index >= rates_bps_.size()) {
+    return rates_bps_.back();
+  }
+  return rates_bps_[index];
+}
+
+double ThroughputTrace::duration() const {
+  return static_cast<double>(rates_bps_.size()) * segment_duration_s_;
+}
+
+double ThroughputTrace::mean_rate() const {
+  double total = 0.0;
+  for (const double rate : rates_bps_) {
+    total += rate;
+  }
+  return total / static_cast<double>(rates_bps_.size());
+}
+
+}  // namespace puffer::net

@@ -1,0 +1,33 @@
+#ifndef PUFFER_NET_TRACE_HH
+#define PUFFER_NET_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace puffer::net {
+
+/// A piecewise-constant bottleneck-capacity trace: capacity (bytes/second)
+/// over equal-length segments. Time past the end clamps to the final segment,
+/// so a trace behaves as an unbounded path; generators produce traces longer
+/// than any simulated session.
+class ThroughputTrace {
+ public:
+  ThroughputTrace(std::vector<double> rates_bps, double segment_duration_s);
+
+  [[nodiscard]] double capacity_at(double time_s) const;
+  [[nodiscard]] double segment_duration() const { return segment_duration_s_; }
+  [[nodiscard]] double duration() const;
+  [[nodiscard]] size_t num_segments() const { return rates_bps_.size(); }
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_bps_; }
+
+  /// Time-average capacity over [0, duration).
+  [[nodiscard]] double mean_rate() const;
+
+ private:
+  std::vector<double> rates_bps_;
+  double segment_duration_s_;
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_TRACE_HH

@@ -1,0 +1,139 @@
+#include "net/trace_models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::net {
+
+namespace {
+
+constexpr double kMbps = 1e6 / 8.0;  // bytes per second in one Mbit/s
+
+size_t segments_for(const double duration_s, const double segment_s) {
+  return static_cast<size_t>(std::ceil(duration_s / segment_s)) + 1;
+}
+
+}  // namespace
+
+PufferPathModel::PufferPathModel(PufferPathConfig config) : config_(config) {
+  require(config_.median_rate_mbps > 0.0, "PufferPathModel: bad median rate");
+}
+
+NetworkPath PufferPathModel::sample_path(Rng& rng, const double duration_s) const {
+  const auto& cfg = config_;
+  const size_t n = segments_for(duration_s, cfg.segment_duration_s);
+
+  // Path-level base rate: lognormal across paths (heavy upper tail; the lower
+  // tail forms the "slow path" population of Figure 8's right panel).
+  const double log10_base =
+      std::log10(cfg.median_rate_mbps) + rng.normal(0.0, cfg.log10_rate_sigma);
+  const double base_mbps = std::pow(10.0, log10_base);
+
+  // Path-level RTT: correlated with path speed (slow paths tend to sit behind
+  // longer/loaded links); lognormal around 40 ms.
+  const double rtt_shift = std::clamp(0.3 * (std::log10(cfg.median_rate_mbps) -
+                                             log10_base),
+                                      -0.3, 0.6);
+  const double min_rtt =
+      std::clamp(0.040 * std::exp(rng.normal(rtt_shift, 0.45)), 0.004, 0.800);
+
+  std::vector<double> rates(n);
+  double drift = 0.0;          // OU process in log space
+  double regime = 0.0;         // cumulative log regime shift
+  double outage_left_s = 0.0;  // remaining outage duration
+
+  for (size_t i = 0; i < n; i++) {
+    const double dt = cfg.segment_duration_s;
+    // OU drift.
+    drift += -cfg.ou_reversion * drift + rng.normal(0.0, cfg.ou_volatility);
+    // Regime shifts arrive as a Poisson process.
+    if (rng.bernoulli(1.0 - std::exp(-cfg.regime_shift_rate_hz * dt))) {
+      regime += rng.normal(0.0, cfg.regime_shift_sigma);
+      // Pull extreme regimes gently back toward the base rate.
+      regime = std::clamp(regime, -2.5, 1.5);
+    }
+    // Outages.
+    if (outage_left_s <= 0.0 &&
+        rng.bernoulli(1.0 - std::exp(-cfg.outage_rate_hz * dt))) {
+      outage_left_s = rng.exponential(1.0 / cfg.outage_mean_duration_s);
+    }
+
+    double rate_mbps = base_mbps * std::exp(drift + regime);
+    if (outage_left_s > 0.0) {
+      rate_mbps = std::min(rate_mbps, cfg.outage_floor_mbps *
+                                          std::exp(rng.normal(0.0, 0.5)));
+      outage_left_s -= dt;
+    }
+    rates[i] = std::clamp(rate_mbps, 0.008, cfg.max_rate_mbps) * kMbps;
+  }
+
+  return NetworkPath{ThroughputTrace{std::move(rates), cfg.segment_duration_s},
+                     min_rtt};
+}
+
+FccTraceModel::FccTraceModel(FccTraceConfig config) : config_(config) {
+  require(config_.median_rate_mbps > 0.0, "FccTraceModel: bad median rate");
+}
+
+NetworkPath FccTraceModel::sample_path(Rng& rng, const double duration_s) const {
+  const auto& cfg = config_;
+  const size_t n = segments_for(duration_s, cfg.segment_duration_s);
+
+  const double log10_base =
+      std::log10(cfg.median_rate_mbps) + rng.normal(0.0, cfg.log10_rate_sigma);
+  const double base_mbps = std::pow(10.0, log10_base);
+
+  std::vector<double> rates(n);
+  for (size_t i = 0; i < n; i++) {
+    const double rate_mbps =
+        base_mbps * std::exp(rng.normal(0.0, cfg.wobble_sigma));
+    rates[i] =
+        std::clamp(rate_mbps, cfg.min_rate_mbps, cfg.max_rate_mbps) * kMbps;
+  }
+
+  return NetworkPath{ThroughputTrace{std::move(rates), cfg.segment_duration_s},
+                     cfg.shell_rtt_s};
+}
+
+MarkovTraceModel::MarkovTraceModel(MarkovTraceConfig config) : config_(config) {
+  require(config_.num_states >= 2, "MarkovTraceModel: need >= 2 states");
+  require(config_.stay_probability > 0.0 && config_.stay_probability < 1.0,
+          "MarkovTraceModel: stay probability in (0,1)");
+}
+
+NetworkPath MarkovTraceModel::sample_path(Rng& rng, const double duration_s) const {
+  const auto& cfg = config_;
+  const size_t n = segments_for(duration_s, cfg.segment_duration_s);
+
+  // State levels symmetric around the mean rate.
+  std::vector<double> levels(static_cast<size_t>(cfg.num_states));
+  for (int s = 0; s < cfg.num_states; s++) {
+    levels[static_cast<size_t>(s)] =
+        cfg.mean_rate_mbps +
+        (s - (cfg.num_states - 1) / 2.0) * cfg.state_spread_mbps;
+  }
+
+  int state = static_cast<int>(rng.uniform_int(0, cfg.num_states - 1));
+  std::vector<double> rates(n);
+  for (size_t i = 0; i < n; i++) {
+    if (!rng.bernoulli(cfg.stay_probability)) {
+      // Move to a uniformly-chosen different state (CS2P-style jumps).
+      int next = static_cast<int>(rng.uniform_int(0, cfg.num_states - 2));
+      if (next >= state) {
+        next++;
+      }
+      state = next;
+    }
+    const double rate_mbps =
+        std::max(0.05, levels[static_cast<size_t>(state)] +
+                           rng.normal(0.0, cfg.within_state_sigma_mbps));
+    rates[i] = rate_mbps * kMbps;
+  }
+
+  return NetworkPath{ThroughputTrace{std::move(rates), cfg.segment_duration_s},
+                     0.040};
+}
+
+}  // namespace puffer::net

@@ -1,0 +1,110 @@
+#ifndef PUFFER_NET_TRACE_MODELS_HH
+#define PUFFER_NET_TRACE_MODELS_HH
+
+#include <cstdint>
+
+#include "net/trace.hh"
+#include "util/rng.hh"
+
+namespace puffer::net {
+
+/// A sampled network path: a capacity trace plus path-level latency.
+struct NetworkPath {
+  ThroughputTrace trace;
+  double min_rtt_s = 0.040;  ///< propagation round-trip time
+};
+
+/// --- Deployment-like paths (the "wild Internet" of the Puffer study) ---
+///
+/// Heavy-tailed, non-stationary throughput: a lognormal base rate (with a
+/// slow-path mixture component so that ~15-25% of paths average under
+/// 6 Mbit/s), an Ornstein-Uhlenbeck process in log space for within-session
+/// drift, occasional regime shifts (e.g. cross traffic, WiFi handoff), and
+/// rare near-outages with heavy-tailed durations. Reproduces the Figure 2b
+/// character (no discrete states) and the heavy tails the paper blames for
+/// the emulation-to-deployment gap.
+struct PufferPathConfig {
+  double segment_duration_s = 0.5;
+  double median_rate_mbps = 14.0;
+  double log10_rate_sigma = 0.55;   ///< spread of path base rates
+  double ou_reversion = 0.03;       ///< per-segment mean reversion of drift
+  double ou_volatility = 0.045;     ///< per-segment stddev of log-rate drift
+  double regime_shift_rate_hz = 1.0 / 180.0;  ///< avg one shift per 3 minutes
+  double regime_shift_sigma = 0.5;  ///< lognormal factor applied on a shift
+  double outage_rate_hz = 1.0 / 600.0;        ///< avg one outage per 10 min
+  double outage_mean_duration_s = 4.0;        ///< exponential outage length
+  double outage_floor_mbps = 0.05;
+  double max_rate_mbps = 400.0;
+};
+
+class PufferPathModel {
+ public:
+  explicit PufferPathModel(PufferPathConfig config = {});
+
+  /// Sample a complete path (trace of `duration_s` + RTT) for one session.
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const PufferPathConfig& config() const { return config_; }
+
+ private:
+  PufferPathConfig config_;
+};
+
+/// --- FCC-broadband-like traces (the Pensieve/mahimahi emulation world) ---
+///
+/// Stationary, bounded-variation throughput: a per-trace mean drawn from a
+/// moderate lognormal, then piecewise-constant 5-second segments wobbling
+/// around that mean. No regime shifts, no outages, no heavy tails — by
+/// construction, the distribution-shift between this family and
+/// PufferPathModel is the phenomenon Figure 11 documents.
+struct FccTraceConfig {
+  double segment_duration_s = 5.0;
+  double median_rate_mbps = 2.6;   ///< Pensieve-style scaled broadband traces
+  double log10_rate_sigma = 0.30;
+  double wobble_sigma = 0.20;      ///< lognormal within-trace variation
+  double min_rate_mbps = 0.2;
+  double max_rate_mbps = 12.0;     ///< mahimahi shells were capped at 12 Mbps
+  double shell_rtt_s = 0.040;      ///< fixed 40 ms mahimahi delay (section 5.2)
+};
+
+class FccTraceModel {
+ public:
+  explicit FccTraceModel(FccTraceConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const FccTraceConfig& config() const { return config_; }
+
+ private:
+  FccTraceConfig config_;
+};
+
+/// --- CS2P-style discrete-state Markov throughput (Figure 2a) ---
+///
+/// A small number of discrete throughput states with sticky transitions and
+/// tiny within-state noise. The paper notes Puffer has *not* observed this
+/// structure; this model exists to reproduce Figure 2a's contrast.
+struct MarkovTraceConfig {
+  double segment_duration_s = 6.0;  ///< 6-second epochs as in Figure 2
+  int num_states = 4;
+  double mean_rate_mbps = 2.7;
+  double state_spread_mbps = 0.25;  ///< spacing between adjacent states
+  double stay_probability = 0.95;
+  double within_state_sigma_mbps = 0.02;
+};
+
+class MarkovTraceModel {
+ public:
+  explicit MarkovTraceModel(MarkovTraceConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const MarkovTraceConfig& config() const { return config_; }
+
+ private:
+  MarkovTraceConfig config_;
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_TRACE_MODELS_HH

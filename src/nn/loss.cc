@@ -1,0 +1,86 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::nn {
+
+void softmax_inplace(const std::span<float> row) {
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (const float v : row) {
+    max_logit = std::max(max_logit, v);
+  }
+  float total = 0.0f;
+  for (float& v : row) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  for (float& v : row) {
+    v /= total;
+  }
+}
+
+void softmax(const Matrix& logits, Matrix& probs) {
+  probs = logits;
+  for (size_t r = 0; r < probs.rows(); r++) {
+    softmax_inplace(probs.row(r));
+  }
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::span<const int> labels,
+                             const std::span<const float> weights,
+                             Matrix& dlogits) {
+  require(labels.size() == logits.rows(), "cross_entropy: label count mismatch");
+  require(weights.size() == logits.rows(), "cross_entropy: weight count mismatch");
+
+  softmax(logits, dlogits);  // dlogits temporarily holds probabilities
+  double total_loss = 0.0;
+  double total_weight = 0.0;
+  for (size_t r = 0; r < logits.rows(); r++) {
+    total_weight += weights[r];
+  }
+  require(total_weight > 0.0, "cross_entropy: total weight must be positive");
+
+  for (size_t r = 0; r < logits.rows(); r++) {
+    const int label = labels[r];
+    require(label >= 0 && static_cast<size_t>(label) < logits.cols(),
+            "cross_entropy: label out of range");
+    const float w = weights[r];
+    const float p = std::max(dlogits.at(r, label), 1e-12f);
+    total_loss += -static_cast<double>(w) * std::log(p);
+    // d/dlogits of -w*log softmax = w * (probs - onehot); normalize by total w.
+    float* row = dlogits.data() + r * dlogits.cols();
+    const float norm = w / static_cast<float>(total_weight);
+    for (size_t c = 0; c < dlogits.cols(); c++) {
+      row[c] *= norm;
+    }
+    row[label] -= norm;
+  }
+  return total_loss / total_weight;
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::span<const int> labels, Matrix& dlogits) {
+  const std::vector<float> ones(logits.rows(), 1.0f);
+  return softmax_cross_entropy(logits, labels, ones, dlogits);
+}
+
+double mse_loss(const Matrix& predictions, const std::span<const float> targets,
+                Matrix& dpredictions) {
+  require(predictions.cols() == 1, "mse_loss: predictions must be a column");
+  require(predictions.rows() == targets.size(), "mse_loss: size mismatch");
+  dpredictions.resize(predictions.rows(), 1);
+  double total = 0.0;
+  const float norm = 2.0f / static_cast<float>(predictions.rows());
+  for (size_t r = 0; r < predictions.rows(); r++) {
+    const float err = predictions.at(r, 0) - targets[r];
+    total += static_cast<double>(err) * err;
+    dpredictions.at(r, 0) = norm * err;
+  }
+  return total / static_cast<double>(predictions.rows());
+}
+
+}  // namespace puffer::nn

@@ -1,0 +1,37 @@
+#ifndef PUFFER_NN_LOSS_HH
+#define PUFFER_NN_LOSS_HH
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hh"
+
+namespace puffer::nn {
+
+/// Row-wise softmax of logits into `probs` (resized to match).
+void softmax(const Matrix& logits, Matrix& probs);
+
+/// In-place numerically-stable softmax of one row vector.
+void softmax_inplace(std::span<float> row);
+
+/// Weighted softmax cross-entropy.
+///
+/// For each row i with integer label `labels[i]` and weight `weights[i]`,
+/// loss_i = -w_i * log softmax(logits_i)[label_i]. Returns the weighted mean
+/// loss and writes dLoss/dLogits (already divided by total weight) into
+/// `dlogits`. This is the TTP's training objective (paper section 4.3).
+double softmax_cross_entropy(const Matrix& logits, std::span<const int> labels,
+                             std::span<const float> weights, Matrix& dlogits);
+
+/// Unweighted helper (all weights = 1).
+double softmax_cross_entropy(const Matrix& logits, std::span<const int> labels,
+                             Matrix& dlogits);
+
+/// Mean squared error between a single-column prediction and targets, with
+/// gradient; used by the Pensieve critic (value baseline).
+double mse_loss(const Matrix& predictions, std::span<const float> targets,
+                Matrix& dpredictions);
+
+}  // namespace puffer::nn
+
+#endif  // PUFFER_NN_LOSS_HH

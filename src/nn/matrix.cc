@@ -1,0 +1,97 @@
+#include "nn/matrix.hh"
+
+#include <algorithm>
+
+#include "util/require.hh"
+
+namespace puffer::nn {
+
+Matrix::Matrix(const size_t rows, const size_t cols, const float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(const float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::resize(const size_t rows, const size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::add_inplace(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Matrix::add_inplace: shape mismatch");
+  for (size_t i = 0; i < data_.size(); i++) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Matrix::scale_inplace(const float factor) {
+  for (float& value : data_) {
+    value *= factor;
+  }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols() == b.rows(), "matmul: inner dimensions must match");
+  out.resize(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; i++) {
+    float* out_row = out.data() + i * n;
+    const float* a_row = a.data() + i * k;
+    for (size_t p = 0; p < k; p++) {
+      const float a_ip = a_row[p];
+      const float* b_row = b.data() + p * n;
+      for (size_t j = 0; j < n; j++) {
+        out_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols() == b.cols(), "matmul_bt: inner dimensions must match");
+  out.resize(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; i++) {
+    const float* a_row = a.data() + i * k;
+    for (size_t j = 0; j < n; j++) {
+      const float* b_row = b.data() + j * k;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; p++) {
+        acc += a_row[p] * b_row[p];
+      }
+      out.at(i, j) = acc;
+    }
+  }
+}
+
+void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.rows() == b.rows(), "matmul_at: inner dimensions must match");
+  out.resize(a.cols(), b.cols());
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (size_t p = 0; p < k; p++) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (size_t i = 0; i < m; i++) {
+      const float a_pi = a_row[i];
+      float* out_row = out.data() + i * n;
+      for (size_t j = 0; j < n; j++) {
+        out_row[j] += a_pi * b_row[j];
+      }
+    }
+  }
+}
+
+void add_row_bias(Matrix& out, const std::span<const float> bias) {
+  require(bias.size() == out.cols(), "add_row_bias: bias length mismatch");
+  for (size_t r = 0; r < out.rows(); r++) {
+    float* row = out.data() + r * out.cols();
+    for (size_t c = 0; c < out.cols(); c++) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+}  // namespace puffer::nn

@@ -1,0 +1,163 @@
+#include "nn/mlp.hh"
+
+#include <cmath>
+
+#include "util/require.hh"
+#include "util/rng.hh"
+
+namespace puffer::nn {
+
+void Gradients::zero() {
+  for (auto& w : weights) {
+    w.fill(0.0f);
+  }
+  for (auto& b : biases) {
+    std::fill(b.begin(), b.end(), 0.0f);
+  }
+}
+
+void Gradients::scale(const float factor) {
+  for (auto& w : weights) {
+    w.scale_inplace(factor);
+  }
+  for (auto& b : biases) {
+    for (float& value : b) {
+      value *= factor;
+    }
+  }
+}
+
+void Gradients::add(const Gradients& other) {
+  require(weights.size() == other.weights.size(), "Gradients::add: mismatch");
+  for (size_t l = 0; l < weights.size(); l++) {
+    weights[l].add_inplace(other.weights[l]);
+    for (size_t i = 0; i < biases[l].size(); i++) {
+      biases[l][i] += other.biases[l][i];
+    }
+  }
+}
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, const uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  require(layer_sizes_.size() >= 2, "Mlp: need at least input and output sizes");
+  Rng rng{seed};
+  for (size_t l = 0; l + 1 < layer_sizes_.size(); l++) {
+    const size_t fan_in = layer_sizes_[l];
+    const size_t fan_out = layer_sizes_[l + 1];
+    Matrix w{fan_in, fan_out};
+    const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (size_t i = 0; i < w.size(); i++) {
+      w.data()[i] = static_cast<float>(rng.normal(0.0, scale));
+    }
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(fan_out, 0.0f);
+  }
+}
+
+size_t Mlp::parameter_count() const {
+  size_t total = 0;
+  for (size_t l = 0; l < weights_.size(); l++) {
+    total += weights_[l].size() + biases_[l].size();
+  }
+  return total;
+}
+
+namespace {
+
+void relu_inplace(Matrix& m) {
+  float* data = m.data();
+  for (size_t i = 0; i < m.size(); i++) {
+    data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+  }
+}
+
+}  // namespace
+
+void Mlp::forward(const Matrix& input, Matrix& logits) const {
+  require(input.cols() == input_size(), "Mlp::forward: input width mismatch");
+  Matrix current = input;
+  Matrix next;
+  for (size_t l = 0; l < weights_.size(); l++) {
+    matmul(current, weights_[l], next);
+    add_row_bias(next, biases_[l]);
+    if (l + 1 < weights_.size()) {
+      relu_inplace(next);
+    }
+    std::swap(current, next);
+  }
+  logits = std::move(current);
+}
+
+std::vector<float> Mlp::forward_one(const std::span<const float> input) const {
+  require(input.size() == input_size(), "Mlp::forward_one: width mismatch");
+  Matrix batch{1, input_size()};
+  for (size_t i = 0; i < input.size(); i++) {
+    batch.at(0, i) = input[i];
+  }
+  Matrix logits;
+  forward(batch, logits);
+  return {logits.data(), logits.data() + logits.cols()};
+}
+
+void Mlp::forward_tape(const Matrix& input, Tape& tape) const {
+  require(input.cols() == input_size(), "Mlp::forward_tape: width mismatch");
+  tape.activations.assign(1, input);
+  for (size_t l = 0; l < weights_.size(); l++) {
+    Matrix next;
+    matmul(tape.activations.back(), weights_[l], next);
+    add_row_bias(next, biases_[l]);
+    if (l + 1 < weights_.size()) {
+      relu_inplace(next);
+    }
+    tape.activations.push_back(std::move(next));
+  }
+}
+
+void Mlp::backward(const Tape& tape, const Matrix& dlogits,
+                   Gradients& grads) const {
+  require(tape.activations.size() == weights_.size() + 1,
+          "Mlp::backward: tape does not match network depth");
+  require(dlogits.rows() == tape.activations.back().rows() &&
+              dlogits.cols() == output_size(),
+          "Mlp::backward: dlogits shape mismatch");
+
+  Matrix delta = dlogits;  // gradient w.r.t. pre-activation of current layer
+  Matrix next_delta;
+  for (size_t l = weights_.size(); l-- > 0;) {
+    const Matrix& layer_input = tape.activations[l];
+    // dW = input^T * delta ; db = column sums of delta.
+    Matrix dw;
+    matmul_at(layer_input, delta, dw);
+    grads.weights[l].add_inplace(dw);
+    for (size_t r = 0; r < delta.rows(); r++) {
+      const float* row = delta.data() + r * delta.cols();
+      for (size_t c = 0; c < delta.cols(); c++) {
+        grads.biases[l][c] += row[c];
+      }
+    }
+    if (l == 0) {
+      break;
+    }
+    // Propagate: next_delta = delta * W^T, masked by ReLU derivative of the
+    // layer-(l-1) output (which is post-ReLU, so derivative = output > 0).
+    matmul_bt(delta, weights_[l], next_delta);
+    const Matrix& activation = tape.activations[l];
+    for (size_t i = 0; i < next_delta.size(); i++) {
+      if (activation.data()[i] <= 0.0f) {
+        next_delta.data()[i] = 0.0f;
+      }
+    }
+    std::swap(delta, next_delta);
+  }
+}
+
+Gradients Mlp::make_gradients() const {
+  Gradients grads;
+  for (size_t l = 0; l < weights_.size(); l++) {
+    grads.weights.emplace_back(weights_[l].rows(), weights_[l].cols());
+    grads.biases.emplace_back(biases_[l].size(), 0.0f);
+  }
+  return grads;
+}
+
+}  // namespace puffer::nn

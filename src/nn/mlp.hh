@@ -1,0 +1,82 @@
+#ifndef PUFFER_NN_MLP_HH
+#define PUFFER_NN_MLP_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hh"
+
+namespace puffer::nn {
+
+/// Gradients of all parameters of an Mlp, in layer order.
+struct Gradients {
+  std::vector<Matrix> weights;
+  std::vector<std::vector<float>> biases;
+
+  void zero();
+  void scale(float factor);
+  void add(const Gradients& other);
+};
+
+/// Forward-pass activation tape needed for backprop.
+/// activations[0] is the input batch; activations[i] (i >= 1) is the
+/// post-activation output of layer i-1.
+struct Tape {
+  std::vector<Matrix> activations;
+};
+
+/// Fully-connected network with ReLU hidden activations and a linear output
+/// layer (logits). This mirrors the paper's TTP: 22 -> 64 -> 64 -> 21, and is
+/// also used for the Pensieve actor/critic networks.
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}; at least {in, out}.
+  /// Weights use He initialization from `seed` (deterministic).
+  Mlp(std::vector<size_t> layer_sizes, uint64_t seed);
+
+  [[nodiscard]] size_t input_size() const { return layer_sizes_.front(); }
+  [[nodiscard]] size_t output_size() const { return layer_sizes_.back(); }
+  [[nodiscard]] size_t num_layers() const { return weights_.size(); }
+  [[nodiscard]] const std::vector<size_t>& layer_sizes() const {
+    return layer_sizes_;
+  }
+  [[nodiscard]] size_t parameter_count() const;
+
+  /// Inference: compute logits for a batch. `logits` is resized.
+  void forward(const Matrix& input, Matrix& logits) const;
+
+  /// Convenience single-example inference.
+  [[nodiscard]] std::vector<float> forward_one(std::span<const float> input) const;
+
+  /// Training forward pass: records activations in `tape`, leaves logits in
+  /// tape.activations.back().
+  void forward_tape(const Matrix& input, Tape& tape) const;
+
+  /// Backprop: given dLoss/dLogits (same shape as logits), accumulate
+  /// parameter gradients into `grads` (which must be shaped by
+  /// `make_gradients`, and may already hold partial sums).
+  void backward(const Tape& tape, const Matrix& dlogits, Gradients& grads) const;
+
+  [[nodiscard]] Gradients make_gradients() const;
+
+  /// Parameter access (used by optimizers and serialization).
+  std::vector<Matrix>& weights() { return weights_; }
+  [[nodiscard]] const std::vector<Matrix>& weights() const { return weights_; }
+  std::vector<std::vector<float>>& biases() { return biases_; }
+  [[nodiscard]] const std::vector<std::vector<float>>& biases() const {
+    return biases_;
+  }
+
+  bool operator==(const Mlp& other) const = default;
+
+ private:
+  std::vector<size_t> layer_sizes_;
+  /// weights_[l] has shape (layer_sizes_[l] x layer_sizes_[l+1]).
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<float>> biases_;
+};
+
+}  // namespace puffer::nn
+
+#endif  // PUFFER_NN_MLP_HH

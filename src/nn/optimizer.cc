@@ -1,0 +1,122 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::nn {
+
+namespace {
+
+void ensure_shaped(Gradients& state, const Mlp& net, bool& initialized) {
+  if (!initialized) {
+    state = net.make_gradients();
+    initialized = true;
+  }
+}
+
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(const double learning_rate, const double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  require(learning_rate > 0.0, "SgdOptimizer: learning rate must be positive");
+  require(momentum >= 0.0 && momentum < 1.0, "SgdOptimizer: bad momentum");
+}
+
+void SgdOptimizer::step(Mlp& net, const Gradients& grads) {
+  ensure_shaped(velocity_, net, initialized_);
+  const float lr = static_cast<float>(learning_rate_);
+  const float mom = static_cast<float>(momentum_);
+  for (size_t l = 0; l < net.weights().size(); l++) {
+    Matrix& w = net.weights()[l];
+    Matrix& v = velocity_.weights[l];
+    const Matrix& g = grads.weights[l];
+    for (size_t i = 0; i < w.size(); i++) {
+      v.data()[i] = mom * v.data()[i] - lr * g.data()[i];
+      w.data()[i] += v.data()[i];
+    }
+    auto& b = net.biases()[l];
+    auto& vb = velocity_.biases[l];
+    const auto& gb = grads.biases[l];
+    for (size_t i = 0; i < b.size(); i++) {
+      vb[i] = mom * vb[i] - lr * gb[i];
+      b[i] += vb[i];
+    }
+  }
+}
+
+void SgdOptimizer::reset() {
+  initialized_ = false;
+}
+
+AdamOptimizer::AdamOptimizer(const double learning_rate, const double beta1,
+                             const double beta2, const double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  require(learning_rate > 0.0, "AdamOptimizer: learning rate must be positive");
+}
+
+void AdamOptimizer::step(Mlp& net, const Gradients& grads) {
+  if (!initialized_) {
+    first_moment_ = net.make_gradients();
+    second_moment_ = net.make_gradients();
+    step_count_ = 0;
+    initialized_ = true;
+  }
+  step_count_++;
+  const double bias1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bias2 = 1.0 - std::pow(beta2_, step_count_);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(epsilon_);
+  const float lr = static_cast<float>(learning_rate_);
+
+  auto update = [&](float& param, float& m, float& v, const float g) {
+    m = b1 * m + (1.0f - b1) * g;
+    v = b2 * v + (1.0f - b2) * g * g;
+    const float m_hat = m / static_cast<float>(bias1);
+    const float v_hat = v / static_cast<float>(bias2);
+    param -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  };
+
+  for (size_t l = 0; l < net.weights().size(); l++) {
+    Matrix& w = net.weights()[l];
+    for (size_t i = 0; i < w.size(); i++) {
+      update(w.data()[i], first_moment_.weights[l].data()[i],
+             second_moment_.weights[l].data()[i], grads.weights[l].data()[i]);
+    }
+    auto& b = net.biases()[l];
+    for (size_t i = 0; i < b.size(); i++) {
+      update(b[i], first_moment_.biases[l][i], second_moment_.biases[l][i],
+             grads.biases[l][i]);
+    }
+  }
+}
+
+void AdamOptimizer::reset() {
+  initialized_ = false;
+}
+
+double clip_gradient_norm(Gradients& grads, const double max_norm) {
+  require(max_norm > 0.0, "clip_gradient_norm: max_norm must be positive");
+  double sum_sq = 0.0;
+  for (const auto& w : grads.weights) {
+    for (size_t i = 0; i < w.size(); i++) {
+      sum_sq += static_cast<double>(w.data()[i]) * w.data()[i];
+    }
+  }
+  for (const auto& b : grads.biases) {
+    for (const float g : b) {
+      sum_sq += static_cast<double>(g) * g;
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm) {
+    grads.scale(static_cast<float>(max_norm / norm));
+  }
+  return norm;
+}
+
+}  // namespace puffer::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/require.hh"
+
+namespace puffer::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50554d4c;  // "PUML"
+
+void write_u64(std::ostream& out, const uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  require(bool(in), "load_mlp: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& net, std::ostream& out) {
+  write_u64(out, kMagic);
+  write_u64(out, net.layer_sizes().size());
+  for (const size_t s : net.layer_sizes()) {
+    write_u64(out, s);
+  }
+  for (size_t l = 0; l < net.num_layers(); l++) {
+    const Matrix& w = net.weights()[l];
+    out.write(reinterpret_cast<const char*>(w.data()),
+              static_cast<std::streamsize>(w.size() * sizeof(float)));
+    const auto& b = net.biases()[l];
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size() * sizeof(float)));
+  }
+  require(bool(out), "save_mlp: write failed");
+}
+
+Mlp load_mlp(std::istream& in) {
+  require(read_u64(in) == kMagic, "load_mlp: bad magic");
+  const uint64_t depth = read_u64(in);
+  require(depth >= 2 && depth < 64, "load_mlp: implausible layer count");
+  std::vector<size_t> sizes(depth);
+  for (auto& s : sizes) {
+    s = read_u64(in);
+    require(s >= 1 && s < (1u << 20), "load_mlp: implausible layer size");
+  }
+  Mlp net{sizes, /*seed=*/0};
+  for (size_t l = 0; l < net.num_layers(); l++) {
+    Matrix& w = net.weights()[l];
+    in.read(reinterpret_cast<char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(float)));
+    auto& b = net.biases()[l];
+    in.read(reinterpret_cast<char*>(b.data()),
+            static_cast<std::streamsize>(b.size() * sizeof(float)));
+  }
+  require(bool(in), "load_mlp: truncated stream");
+  return net;
+}
+
+void save_mlp_file(const Mlp& net, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_mlp_file: cannot open " + path);
+  save_mlp(net, out);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  require(in.is_open(), "load_mlp_file: cannot open " + path);
+  return load_mlp(in);
+}
+
+}  // namespace puffer::nn

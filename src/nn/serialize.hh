@@ -1,0 +1,23 @@
+#ifndef PUFFER_NN_SERIALIZE_HH
+#define PUFFER_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hh"
+
+namespace puffer::nn {
+
+/// Write an Mlp (architecture + parameters) to a stream in a simple
+/// self-describing binary format. Used for the paper's warm-start retraining
+/// ("the weights from the previous day's model are loaded", section 4.3) and
+/// for shipping trained models between training and serving code.
+void save_mlp(const Mlp& net, std::ostream& out);
+Mlp load_mlp(std::istream& in);
+
+void save_mlp_file(const Mlp& net, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+
+}  // namespace puffer::nn
+
+#endif  // PUFFER_NN_SERIALIZE_HH

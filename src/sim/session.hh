@@ -1,0 +1,84 @@
+#ifndef PUFFER_SIM_SESSION_HH
+#define PUFFER_SIM_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "abr/abr.hh"
+#include "media/vbr_source.hh"
+#include "net/tcp_sender.hh"
+#include "sim/user_model.hh"
+#include "stats/summary.hh"
+
+namespace puffer::sim {
+
+/// One chunk transfer as logged for in-situ TTP training (converted to
+/// fugu::ChunkLog by the experiment layer).
+struct TransferLogEntry {
+  double size_mb = 0.0;
+  double tx_time_s = 0.0;
+  net::TcpInfo tcp_at_send;
+};
+
+/// Configuration of the streaming loop, matching Puffer's deployment:
+/// 15-second client buffer, chunks pushed server-side as soon as there is
+/// room, MPC lookahead of 5 chunks.
+struct StreamRunConfig {
+  double max_buffer_s = 15.0;
+  int lookahead_chunks = 5;
+  /// Client-side player initialization (MediaSource setup, first-frame
+  /// decode) added to the startup delay; calibrates the absolute startup
+  /// scale to the ~0.5 s the paper reports (Figure 9).
+  double player_init_delay_s = 0.40;
+};
+
+/// Everything measured about one stream.
+struct StreamOutcome {
+  bool began_playing = false;
+  bool decoder_failure = false;   ///< client-side defect (Figure A1 bucket)
+  stats::StreamFigures figures;
+  std::vector<TransferLogEntry> transfer_log;
+  double wall_time_s = 0.0;       ///< stream start to stream end
+  int chunks_played = 0;
+};
+
+/// Observer of the measurement events a stream produces — the same event
+/// families Puffer's open data release records (Appendix B): a `video_sent`
+/// datapoint when the server sends a chunk, a `video_acked` datapoint when
+/// the client acknowledges it, and `client_buffer` datapoints on playback
+/// events. Used by exp::OpenDataWriter to export the public-archive CSVs.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+  /// Chunk leaves the server. `record.tcp_at_send` holds the tcp_info
+  /// snapshot; `buffer_s` is the client buffer at the send decision.
+  virtual void on_video_sent(double time_s, const abr::ChunkRecord& record,
+                             double buffer_s) = 0;
+  /// Chunk fully received by the client.
+  virtual void on_video_acked(double time_s, int64_t chunk_index) = 0;
+  /// Playback event: "startup", "play", "rebuffer", or the per-chunk
+  /// "timer" report (the real client reports every quarter second; the
+  /// simulator reports at chunk granularity).
+  virtual void on_client_buffer(double time_s, const char* event,
+                                double buffer_s, double cum_rebuffer_s) = 0;
+};
+
+/// Run one stream: the viewer watches `video` starting at `first_chunk`
+/// until the watch intent is exhausted or QoE drives them away. The ABR
+/// scheme and TCP connection persist across streams within a session (a
+/// channel change does not reset them — Figure A1's session/stream split).
+StreamOutcome run_stream(net::TcpSender& sender, abr::AbrAlgorithm& abr,
+                         media::VbrVideoSource& video, int64_t first_chunk,
+                         const UserBehavior& user, Rng& rng,
+                         const StreamRunConfig& config = {},
+                         StreamObserver* observer = nullptr);
+
+/// Warm the fresh connection the way the real player does: the page, player
+/// JavaScript and manifest travel over the same connection before the first
+/// chunk, so tcp_info is already informative at the first ABR decision —
+/// the effect behind Fugu's better cold start (Figure 9).
+void send_preamble(net::TcpSender& sender, double bytes = 192.0 * 1024.0);
+
+}  // namespace puffer::sim
+
+#endif  // PUFFER_SIM_SESSION_HH

@@ -1,0 +1,46 @@
+#include "sim/user_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace puffer::sim {
+
+UserModel::UserModel(const uint64_t seed) : seed_(seed) {}
+
+SessionBehavior UserModel::sample_session(Rng& rng) const {
+  SessionBehavior behavior;
+  // A visit contains one or more streams; channel changes start new streams
+  // (Figure A1: 337k sessions produced 1.6M streams, ~4.7 streams/session).
+  behavior.num_streams = 1 + static_cast<int>(rng.exponential(1.0 / 3.5));
+  behavior.num_streams = std::min(behavior.num_streams, 40);
+  // A slice of visits never plays anything (incompatible browser, instant
+  // bounce) — Figure A1's "did not begin playing" bucket is fed both by
+  // these and by sub-startup-delay zaps.
+  behavior.incompatible_or_bounce = rng.bernoulli(0.08);
+  return behavior;
+}
+
+UserBehavior UserModel::sample_stream_behavior(Rng& rng) const {
+  UserBehavior behavior;
+  // Watch-intent mixture:
+  //  * 55%: channel zapping, a few seconds (feeds the <4 s exclusions);
+  //  * 40%: lognormal body, median ~8 minutes;
+  //  * 5%: heavy Pareto tail reaching many hours (Figure 10's tail).
+  const double draw = rng.uniform();
+  if (draw < 0.55) {
+    behavior.watch_intent_s = rng.exponential(1.0 / 4.0);  // mean 4 s
+  } else if (draw < 0.95) {
+    behavior.watch_intent_s = rng.lognormal(std::log(8.0 * 60.0), 1.1);
+  } else {
+    behavior.watch_intent_s = rng.pareto(30.0 * 60.0, 1.05);
+  }
+  behavior.watch_intent_s = std::min(behavior.watch_intent_s, 16.0 * 3600.0);
+
+  behavior.stall_patience_s = 4.0 + rng.exponential(1.0 / 10.0);
+  behavior.stall_hazard_per_s = 0.04 * std::exp(rng.normal(0.0, 0.5));
+  behavior.quality_hazard_per_s_db = 0.0006 * std::exp(rng.normal(0.0, 0.5));
+  behavior.quality_reference_db = 16.0;
+  return behavior;
+}
+
+}  // namespace puffer::sim

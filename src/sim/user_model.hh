@@ -1,0 +1,49 @@
+#ifndef PUFFER_SIM_USER_MODEL_HH
+#define PUFFER_SIM_USER_MODEL_HH
+
+#include "util/rng.hh"
+
+namespace puffer::sim {
+
+/// Behavioural parameters of one viewer for one stream.
+struct UserBehavior {
+  /// How long the viewer intends to watch if nothing goes wrong.
+  double watch_intent_s = 600.0;
+  /// How long the viewer will tolerate a single uninterrupted stall.
+  double stall_patience_s = 12.0;
+  /// Hazard of abandoning per second while recently stalled (beyond the
+  /// patience cutoff this is moot).
+  double stall_hazard_per_s = 0.04;
+  /// Hazard of abandoning per second per dB of quality below the reference.
+  double quality_hazard_per_s_db = 0.0006;
+  /// Quality level viewers take for granted (dB); below it they get antsy.
+  double quality_reference_db = 16.0;
+};
+
+/// Session-level behaviour: how many streams (channel changes) a visit
+/// contains and what each stream's intent looks like.
+struct SessionBehavior {
+  int num_streams = 1;
+  bool incompatible_or_bounce = false;  ///< never begins playing anything
+};
+
+/// Samples viewer behaviour reproducing the paper's observed shape:
+/// heavy-tailed watch times (Figure 10: CCDF spanning minutes to >10 hours),
+/// a large population of channel-surfers producing sub-4-second streams
+/// (Figure A1: ~55% of streams excluded as never-played or <4 s), and
+/// QoE-sensitive abandonment that lets ABR quality influence time-on-site,
+/// concentrated in long sessions (the paper's upper-5%-tail effect).
+class UserModel {
+ public:
+  explicit UserModel(uint64_t seed);
+
+  SessionBehavior sample_session(Rng& rng) const;
+  UserBehavior sample_stream_behavior(Rng& rng) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace puffer::sim
+
+#endif  // PUFFER_SIM_USER_MODEL_HH

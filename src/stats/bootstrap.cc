@@ -1,0 +1,106 @@
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::stats {
+
+double ConfidenceInterval::relative_half_width() const {
+  if (point == 0.0) {
+    return 0.0;
+  }
+  return (upper - lower) / 2.0 / std::abs(point);
+}
+
+bool ConfidenceInterval::overlaps(const ConfidenceInterval& other) const {
+  return lower <= other.upper && other.lower <= upper;
+}
+
+double quantile(std::vector<double> values, const double q) {
+  require(!values.empty(), "quantile: empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto low = static_cast<size_t>(std::floor(position));
+  const auto high = static_cast<size_t>(std::ceil(position));
+  const double fraction = position - static_cast<double>(low);
+  return values[low] + fraction * (values[high] - values[low]);
+}
+
+ConfidenceInterval bootstrap_ratio_ci(
+    const std::span<const RatioObservation> streams, Rng& rng,
+    const int replicates, const double confidence) {
+  require(!streams.empty(), "bootstrap_ratio_ci: empty sample");
+  require(replicates >= 10, "bootstrap_ratio_ci: too few replicates");
+
+  double num = 0.0, den = 0.0;
+  for (const auto& s : streams) {
+    num += s.numerator;
+    den += s.denominator;
+  }
+  require(den > 0.0, "bootstrap_ratio_ci: zero total denominator");
+
+  std::vector<double> replicate_values(static_cast<size_t>(replicates));
+  const size_t n = streams.size();
+  for (auto& value : replicate_values) {
+    double rnum = 0.0, rden = 0.0;
+    for (size_t i = 0; i < n; i++) {
+      const auto pick = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(n) - 1));
+      rnum += streams[pick].numerator;
+      rden += streams[pick].denominator;
+    }
+    value = rden > 0.0 ? rnum / rden : 0.0;
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  ConfidenceInterval ci;
+  ci.point = num / den;
+  ci.lower = quantile(replicate_values, alpha);
+  ci.upper = quantile(replicate_values, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_statistic_ci(
+    const std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    const int replicates, const double confidence) {
+  require(!values.empty(), "bootstrap_statistic_ci: empty sample");
+
+  std::vector<double> resample(values.size());
+  std::vector<double> replicate_values(static_cast<size_t>(replicates));
+  for (auto& value : replicate_values) {
+    for (auto& x : resample) {
+      const auto pick = static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(values.size()) - 1));
+      x = values[pick];
+    }
+    value = statistic(resample);
+  }
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  ConfidenceInterval ci;
+  ci.point = statistic(values);
+  ci.lower = quantile(replicate_values, alpha);
+  ci.upper = quantile(replicate_values, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(const std::span<const double> values,
+                                     Rng& rng, const int replicates,
+                                     const double confidence) {
+  return bootstrap_statistic_ci(
+      values,
+      [](const std::span<const double> sample) {
+        double total = 0.0;
+        for (const double v : sample) {
+          total += v;
+        }
+        return total / static_cast<double>(sample.size());
+      },
+      rng, replicates, confidence);
+}
+
+}  // namespace puffer::stats

@@ -1,0 +1,45 @@
+#include "stats/ccdf.hh"
+
+#include <algorithm>
+
+#include "util/require.hh"
+
+namespace puffer::stats {
+
+namespace {
+
+std::vector<DistributionPoint> curve(const std::span<const double> values,
+                                     const int max_points, const bool ccdf) {
+  require(!values.empty(), "empirical distribution: empty sample");
+  require(max_points >= 2, "empirical distribution: need >= 2 points");
+
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+
+  const size_t n = sorted.size();
+  const size_t stride = std::max<size_t>(1, n / static_cast<size_t>(max_points));
+
+  std::vector<DistributionPoint> points;
+  for (size_t i = 0; i < n; i += stride) {
+    const double fraction_leq = static_cast<double>(i + 1) / static_cast<double>(n);
+    points.push_back({sorted[i], ccdf ? 1.0 - fraction_leq : fraction_leq});
+  }
+  // Always include the max.
+  const double fraction_max = 1.0;
+  points.push_back({sorted[n - 1], ccdf ? 0.0 : fraction_max});
+  return points;
+}
+
+}  // namespace
+
+std::vector<DistributionPoint> empirical_ccdf(const std::span<const double> values,
+                                              const int max_points) {
+  return curve(values, max_points, /*ccdf=*/true);
+}
+
+std::vector<DistributionPoint> empirical_cdf(const std::span<const double> values,
+                                             const int max_points) {
+  return curve(values, max_points, /*ccdf=*/false);
+}
+
+}  // namespace puffer::stats

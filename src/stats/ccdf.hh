@@ -1,0 +1,27 @@
+#ifndef PUFFER_STATS_CCDF_HH
+#define PUFFER_STATS_CCDF_HH
+
+#include <span>
+#include <vector>
+
+namespace puffer::stats {
+
+/// One point of an empirical distribution curve.
+struct DistributionPoint {
+  double value = 0.0;
+  double probability = 0.0;
+};
+
+/// Empirical CCDF P(X > x) evaluated at each distinct sample value
+/// (downsampled to at most `max_points` for printing). Used for Figure 10
+/// (time-on-player CCDF) and Figure 11's throughput distributions.
+std::vector<DistributionPoint> empirical_ccdf(std::span<const double> values,
+                                              int max_points = 60);
+
+/// Empirical CDF P(X <= x).
+std::vector<DistributionPoint> empirical_cdf(std::span<const double> values,
+                                             int max_points = 60);
+
+}  // namespace puffer::stats
+
+#endif  // PUFFER_STATS_CCDF_HH

@@ -1,0 +1,41 @@
+#include "stats/summary.hh"
+
+#include <vector>
+
+#include "util/require.hh"
+#include "util/running_stats.hh"
+
+namespace puffer::stats {
+
+SchemeSummary summarize_scheme(const std::span<const StreamFigures> streams,
+                               Rng& rng, const int bootstrap_replicates) {
+  require(!streams.empty(), "summarize_scheme: no streams");
+
+  SchemeSummary summary;
+  summary.num_streams = static_cast<int>(streams.size());
+
+  std::vector<RatioObservation> stall_obs;
+  stall_obs.reserve(streams.size());
+  RunningStats ssim, variation, bitrate, startup, first_chunk;
+  for (const auto& s : streams) {
+    summary.total_watch_time_s += s.watch_time_s;
+    stall_obs.push_back({s.stall_time_s, s.watch_time_s});
+    ssim.add(s.ssim_mean_db, s.watch_time_s);
+    variation.add(s.ssim_variation_db, s.watch_time_s);
+    bitrate.add(s.mean_bitrate_mbps, s.watch_time_s);
+    startup.add(s.startup_delay_s);
+    first_chunk.add(s.first_chunk_ssim_db);
+  }
+
+  summary.stall_ratio =
+      bootstrap_ratio_ci(stall_obs, rng, bootstrap_replicates);
+  summary.ssim_mean_db = ssim.mean();
+  summary.ssim_mean_se_db = ssim.standard_error();
+  summary.ssim_variation_db = variation.mean();
+  summary.mean_bitrate_mbps = bitrate.mean();
+  summary.startup_delay_s = startup.mean();
+  summary.first_chunk_ssim_db = first_chunk.mean();
+  return summary;
+}
+
+}  // namespace puffer::stats

@@ -1,0 +1,44 @@
+#ifndef PUFFER_STATS_SUMMARY_HH
+#define PUFFER_STATS_SUMMARY_HH
+
+#include <span>
+
+#include "stats/bootstrap.hh"
+
+namespace puffer::stats {
+
+/// The per-stream figures the paper computes for its primary analysis
+/// (section 3.4): watch time, stall time, duration-weighted SSIM, and
+/// chunk-to-chunk SSIM variation.
+struct StreamFigures {
+  double watch_time_s = 0.0;     ///< total time between first/last played
+  double stall_time_s = 0.0;     ///< total rebuffering time
+  double startup_delay_s = 0.0;
+  double ssim_mean_db = 0.0;     ///< mean SSIM of played chunks
+  double ssim_variation_db = 0.0;///< mean |SSIM_i - SSIM_{i-1}|
+  double first_chunk_ssim_db = 0.0;
+  double mean_bitrate_mbps = 0.0;
+  double mean_delivery_rate_mbps = 0.0;  ///< for slow-path classification
+};
+
+/// Scheme-level aggregation with the paper's uncertainty quantification:
+/// stall ratio gets a bootstrap CI over streams; SSIM gets a
+/// duration-weighted mean with weighted standard error.
+struct SchemeSummary {
+  int num_streams = 0;
+  double total_watch_time_s = 0.0;
+  ConfidenceInterval stall_ratio;         ///< fraction of time stalled
+  double ssim_mean_db = 0.0;
+  double ssim_mean_se_db = 0.0;           ///< weighted standard error
+  double ssim_variation_db = 0.0;         ///< duration-weighted mean
+  double mean_bitrate_mbps = 0.0;
+  double startup_delay_s = 0.0;
+  double first_chunk_ssim_db = 0.0;
+};
+
+SchemeSummary summarize_scheme(std::span<const StreamFigures> streams, Rng& rng,
+                               int bootstrap_replicates = 1000);
+
+}  // namespace puffer::stats
+
+#endif  // PUFFER_STATS_SUMMARY_HH

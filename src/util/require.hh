@@ -1,0 +1,27 @@
+#ifndef PUFFER_UTIL_REQUIRE_HH
+#define PUFFER_UTIL_REQUIRE_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace puffer {
+
+/// Thrown when a precondition or invariant stated via `require()` fails.
+class RequirementError : public std::logic_error {
+ public:
+  explicit RequirementError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Check a precondition; throws RequirementError with `message` on failure.
+/// Used instead of assert() so that violations are detected in release builds
+/// too (simulation correctness depends on these invariants).
+inline void require(const bool condition, const std::string_view message) {
+  if (!condition) {
+    throw RequirementError(std::string{message});
+  }
+}
+
+}  // namespace puffer
+
+#endif  // PUFFER_UTIL_REQUIRE_HH

@@ -1,0 +1,94 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer {
+
+uint64_t stable_hash(const std::string_view text) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t mix64(uint64_t value) {
+  value += 0x9e3779b97f4a7c15ull;
+  value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+  value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+  return value ^ (value >> 31);
+}
+
+Rng::Rng(const uint64_t seed) : seed_(seed), engine_(mix64(seed)) {}
+
+Rng Rng::split(const std::string_view label) const {
+  return Rng{mix64(seed_ ^ stable_hash(label))};
+}
+
+Rng Rng::split(const uint64_t index) const {
+  return Rng{mix64(seed_ + 0x632be59bd9b4e019ull * (index + 1))};
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::uniform(const double lo, const double hi) {
+  require(lo <= hi, "uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>{lo, hi}(engine_);
+}
+
+int64_t Rng::uniform_int(const int64_t lo, const int64_t hi) {
+  require(lo <= hi, "uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<int64_t>{lo, hi}(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::normal(const double mean, const double stddev) {
+  return std::normal_distribution<double>{mean, stddev}(engine_);
+}
+
+double Rng::lognormal(const double mu, const double sigma) {
+  return std::lognormal_distribution<double>{mu, sigma}(engine_);
+}
+
+double Rng::exponential(const double rate) {
+  require(rate > 0.0, "exponential: rate must be positive");
+  return std::exponential_distribution<double>{rate}(engine_);
+}
+
+double Rng::pareto(const double xm, const double alpha) {
+  require(xm > 0.0 && alpha > 0.0, "pareto: xm and alpha must be positive");
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(const double p) {
+  return uniform() < p;
+}
+
+size_t Rng::categorical(const std::vector<double>& weights) {
+  require(!weights.empty(), "categorical: weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "categorical: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "categorical: total weight must be positive");
+  double draw = uniform() * total;
+  for (size_t i = 0; i < weights.size(); i++) {
+    draw -= weights[i];
+    if (draw < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numerical edge: return last positive index
+}
+
+}  // namespace puffer

@@ -1,0 +1,65 @@
+#ifndef PUFFER_UTIL_RNG_HH
+#define PUFFER_UTIL_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace puffer {
+
+/// Deterministic, splittable random-number generator.
+///
+/// Every stochastic component of the simulator draws from an Rng obtained by
+/// splitting a parent Rng with a label, so that (a) experiments are exactly
+/// reproducible given a seed, and (b) adding a new consumer of randomness in
+/// one module does not perturb the stream seen by other modules.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Derive an independent child generator. The same (parent seed, label)
+  /// pair always yields the same child stream.
+  [[nodiscard]] Rng split(std::string_view label) const;
+  [[nodiscard]] Rng split(uint64_t index) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+  /// Standard normal.
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Exponential with given rate (mean = 1/rate).
+  double exponential(double rate);
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Sample an index from an (unnormalized) weight vector.
+  size_t categorical(const std::vector<double>& weights);
+
+  /// Access to the underlying engine (for std:: distributions/shuffle).
+  std::mt19937_64& engine() { return engine_; }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a), used for seed derivation.
+uint64_t stable_hash(std::string_view text);
+
+/// splitmix64 finalizer; good avalanche for combining seeds.
+uint64_t mix64(uint64_t value);
+
+}  // namespace puffer
+
+#endif  // PUFFER_UTIL_RNG_HH

@@ -1,0 +1,74 @@
+#include "util/running_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer {
+
+void RunningStats::add(const double value, const double weight) {
+  require(weight >= 0.0, "RunningStats: weight must be non-negative");
+  if (weight == 0.0) {
+    return;
+  }
+  count_++;
+  total_weight_ += weight;
+  total_weight_sq_ += weight * weight;
+  const double delta = value - mean_;
+  mean_ += (weight / total_weight_) * delta;
+  m2_ += weight * delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2 || total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  return m2_ / total_weight_;
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+double RunningStats::standard_error() const {
+  if (count_ < 2 || total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  // Effective sample size for weighted data: (sum w)^2 / sum w^2.
+  const double n_eff = total_weight_ * total_weight_ / total_weight_sq_;
+  if (n_eff <= 1.0) {
+    return 0.0;
+  }
+  const double sample_var = m2_ / total_weight_ * n_eff / (n_eff - 1.0);
+  return std::sqrt(sample_var / n_eff);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double combined_weight = total_weight_ + other.total_weight_;
+  const double delta = other.mean_ - mean_;
+  const double new_mean = mean_ + delta * (other.total_weight_ / combined_weight);
+  m2_ += other.m2_ +
+         delta * delta * (total_weight_ * other.total_weight_ / combined_weight);
+  mean_ = new_mean;
+  count_ += other.count_;
+  total_weight_ = combined_weight;
+  total_weight_sq_ += other.total_weight_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace puffer

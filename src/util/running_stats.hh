@@ -1,0 +1,44 @@
+#ifndef PUFFER_UTIL_RUNNING_STATS_HH
+#define PUFFER_UTIL_RUNNING_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace puffer {
+
+/// Single-pass mean/variance accumulator (Welford), optionally weighted.
+///
+/// Weighted form is used for duration-weighted SSIM statistics as in the
+/// paper's primary analysis ("weighting each stream by its duration").
+class RunningStats {
+ public:
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] size_t count() const { return count_; }
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+  [[nodiscard]] double mean() const;
+  /// Weighted (population-style) variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the weighted mean (per the paper's "weighted standard
+  /// error" formula: effective-sample-size corrected).
+  [[nodiscard]] double standard_error() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double total_weight_ = 0.0;
+  double total_weight_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // weighted sum of squared deviations
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace puffer
+
+#endif  // PUFFER_UTIL_RUNNING_STATS_HH

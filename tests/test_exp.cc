@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/insitu.hh"
+#include "exp/models.hh"
+#include "exp/registry.hh"
+#include "exp/trial.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+namespace {
+
+TEST(Registry, SchemeTableMatchesFigure5) {
+  const auto& table = scheme_table();
+  ASSERT_EQ(table.size(), 6u);
+  // Spot-check the distinguishing cells of Figure 5.
+  bool found_fugu = false, found_pensieve = false;
+  for (const auto& row : table) {
+    if (row.name == "Fugu") {
+      found_fugu = true;
+      EXPECT_EQ(row.training, "supervised learning in situ");
+      EXPECT_EQ(row.control, "classical (MPC)");
+    }
+    if (row.name == "Pensieve") {
+      found_pensieve = true;
+      EXPECT_EQ(row.training, "reinforcement learning in simulation");
+    }
+  }
+  EXPECT_TRUE(found_fugu);
+  EXPECT_TRUE(found_pensieve);
+}
+
+TEST(Registry, ClassicalSchemesNeedNoArtifacts) {
+  const SchemeArtifacts none;
+  for (const auto* name : {"BBA", "MPC-HM", "RobustMPC-HM"}) {
+    const auto scheme = make_scheme(name, none);
+    EXPECT_EQ(scheme->name(), name);
+  }
+}
+
+TEST(Registry, LearnedSchemesRequireArtifacts) {
+  const SchemeArtifacts none;
+  EXPECT_THROW(make_scheme("Fugu", none), RequirementError);
+  EXPECT_THROW(make_scheme("Pensieve", none), RequirementError);
+  EXPECT_THROW(make_scheme("Emulation-trained Fugu", none), RequirementError);
+}
+
+TEST(Registry, UnknownSchemeRejected) {
+  const SchemeArtifacts none;
+  EXPECT_THROW(make_scheme("HAL9000", none), RequirementError);
+}
+
+TEST(Registry, FuguVariantsBuildFromTtp) {
+  SchemeArtifacts artifacts;
+  artifacts.ttp_insitu =
+      std::make_shared<const fugu::TtpModel>(fugu::TtpConfig{}, 1);
+  EXPECT_EQ(make_scheme("Fugu", artifacts)->name(), "Fugu");
+  EXPECT_EQ(make_scheme("Fugu-point-estimate", artifacts)->name(),
+            "Fugu-point-estimate");
+}
+
+TrialConfig small_trial_config() {
+  TrialConfig config;
+  config.schemes = {"BBA", "MPC-HM"};
+  config.sessions_per_scheme = 40;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Trial, ConsortAccountingIsConsistent) {
+  const SchemeArtifacts none;
+  const TrialResult trial = run_trial(small_trial_config(), none);
+  ASSERT_EQ(trial.schemes.size(), 2u);
+  int64_t total_sessions = 0;
+  for (const auto& scheme : trial.schemes) {
+    const auto& c = scheme.consort;
+    total_sessions += c.sessions;
+    // Every stream lands in exactly one bucket.
+    EXPECT_EQ(c.streams,
+              c.never_began + c.under_min_watch + c.decoder_failure +
+                  c.considered);
+    EXPECT_EQ(c.considered,
+              static_cast<int64_t>(scheme.considered.size()));
+    EXPECT_LE(c.truncated, c.considered);
+    EXPECT_GE(c.streams, c.sessions);  // sessions contain >= 1 stream
+  }
+  EXPECT_EQ(total_sessions, 80);
+}
+
+TEST(Trial, ExclusionBucketsArePopulated) {
+  const SchemeArtifacts none;
+  const TrialResult trial = run_trial(small_trial_config(), none);
+  int64_t never = 0, under = 0, considered = 0;
+  for (const auto& scheme : trial.schemes) {
+    never += scheme.consort.never_began;
+    under += scheme.consort.under_min_watch;
+    considered += scheme.consort.considered;
+  }
+  // The zapping-heavy user model must populate all three big buckets.
+  EXPECT_GT(never, 0);
+  EXPECT_GT(under, 0);
+  EXPECT_GT(considered, 0);
+}
+
+TEST(Trial, DeterministicForSeed) {
+  const SchemeArtifacts none;
+  const TrialResult a = run_trial(small_trial_config(), none);
+  const TrialResult b = run_trial(small_trial_config(), none);
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (size_t s = 0; s < a.schemes.size(); s++) {
+    EXPECT_EQ(a.schemes[s].consort.considered,
+              b.schemes[s].consort.considered);
+    ASSERT_EQ(a.schemes[s].considered.size(), b.schemes[s].considered.size());
+    for (size_t i = 0; i < a.schemes[s].considered.size(); i++) {
+      EXPECT_DOUBLE_EQ(a.schemes[s].considered[i].watch_time_s,
+                       b.schemes[s].considered[i].watch_time_s);
+    }
+  }
+}
+
+TEST(Trial, PairedModeGivesEverySchemeEverySession) {
+  TrialConfig config = small_trial_config();
+  config.paired_paths = true;
+  config.sessions_per_scheme = 25;
+  const SchemeArtifacts none;
+  const TrialResult trial = run_trial(config, none);
+  EXPECT_EQ(trial.schemes[0].consort.sessions, 25);
+  EXPECT_EQ(trial.schemes[1].consort.sessions, 25);
+  // Identical session plans: stream counts match exactly across schemes.
+  EXPECT_EQ(trial.schemes[0].consort.streams, trial.schemes[1].consort.streams);
+}
+
+TEST(Trial, CollectLogsYieldsChunkTelemetry) {
+  TrialConfig config = small_trial_config();
+  config.collect_logs = true;
+  config.day = 3;
+  const SchemeArtifacts none;
+  const TrialResult trial = run_trial(config, none);
+  size_t chunks = 0;
+  for (const auto& scheme : trial.schemes) {
+    for (const auto& log : scheme.logs) {
+      EXPECT_EQ(log.day, 3);
+      chunks += log.chunks.size();
+      for (const auto& chunk : log.chunks) {
+        EXPECT_GT(chunk.size_mb, 0.0);
+        EXPECT_GT(chunk.tx_time_s, 0.0);
+      }
+    }
+  }
+  EXPECT_GT(chunks, 500u);
+}
+
+TEST(Trial, SlowPathSubsetIsSlow) {
+  const SchemeArtifacts none;
+  TrialConfig config = small_trial_config();
+  config.sessions_per_scheme = 80;
+  const TrialResult trial = run_trial(config, none);
+  for (const auto& scheme : trial.schemes) {
+    for (const auto& figures : scheme.slow_paths(6.0)) {
+      EXPECT_LT(figures.mean_delivery_rate_mbps, 6.0);
+    }
+  }
+}
+
+TEST(Trial, ResultForLookup) {
+  const SchemeArtifacts none;
+  const TrialResult trial = run_trial(small_trial_config(), none);
+  EXPECT_EQ(trial.result_for("BBA").scheme, "BBA");
+  EXPECT_THROW(trial.result_for("nope"), RequirementError);
+}
+
+TEST(Insitu, TtpSaveLoadRoundTrip) {
+  const fugu::TtpConfig config;
+  const fugu::TtpModel model{config, 31};
+  const std::string path = ::testing::TempDir() + "/ttp_roundtrip.bin";
+  save_ttp(model, path);
+  const auto loaded = try_load_ttp(config, path);
+  ASSERT_TRUE(loaded.has_value());
+  for (size_t k = 0; k < model.networks().size(); k++) {
+    EXPECT_EQ(model.networks()[k], loaded->networks()[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Insitu, TtpLoadRejectsMismatchedConfig) {
+  fugu::TtpConfig linear;
+  linear.hidden_layers = {};
+  const fugu::TtpModel model{linear, 32};
+  const std::string path = ::testing::TempDir() + "/ttp_linear.bin";
+  save_ttp(model, path);
+  EXPECT_FALSE(try_load_ttp(fugu::TtpConfig{}, path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Insitu, DatasetSaveLoadRoundTrip) {
+  fugu::TtpDataset dataset;
+  fugu::StreamLog stream;
+  stream.day = 5;
+  fugu::ChunkLog chunk;
+  chunk.size_mb = 1.25;
+  chunk.tx_time_s = 0.8;
+  chunk.tcp_at_send.delivery_rate_bps = 1e6;
+  stream.chunks.push_back(chunk);
+  dataset.push_back(stream);
+
+  const std::string path = ::testing::TempDir() + "/dataset_roundtrip.bin";
+  save_dataset(dataset, path);
+  const auto loaded = try_load_dataset(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].day, 5);
+  ASSERT_EQ((*loaded)[0].chunks.size(), 1u);
+  EXPECT_DOUBLE_EQ((*loaded)[0].chunks[0].size_mb, 1.25);
+  EXPECT_DOUBLE_EQ((*loaded)[0].chunks[0].tcp_at_send.delivery_rate_bps, 1e6);
+  std::remove(path.c_str());
+}
+
+TEST(Insitu, CollectTelemetryProducesTrainableData) {
+  const fugu::TtpDataset dataset =
+      collect_telemetry(PathFamily::kPuffer, /*num_sessions=*/24, /*day=*/0,
+                        /*seed=*/55);
+  size_t chunks = 0;
+  for (const auto& stream : dataset) {
+    chunks += stream.chunks.size();
+  }
+  EXPECT_GT(dataset.size(), 10u);
+  EXPECT_GT(chunks, 300u);
+}
+
+TEST(Insitu, EndToEndTinyInsituTraining) {
+  fugu::TtpConfig config;
+  config.horizon = 2;
+  fugu::TtpTrainConfig train_config;
+  train_config.epochs = 1;
+  train_config.max_examples_per_step = 4000;
+  fugu::TtpTrainReport report;
+  const fugu::TtpModel model =
+      train_ttp_on_family(PathFamily::kPuffer, config, train_config,
+                          /*days=*/1, /*sessions_per_day=*/20, /*seed=*/66,
+                          &report);
+  EXPECT_GT(report.examples_per_step, 100u);
+  // The trained model must beat the uniform baseline (ln 21 = 3.04) on its
+  // own training distribution.
+  const fugu::TtpDataset eval_data =
+      collect_telemetry(PathFamily::kPuffer, 8, 0, 67);
+  const auto eval = evaluate_ttp(model, eval_data);
+  EXPECT_LT(eval.cross_entropy, 2.8);
+}
+
+}  // namespace
+}  // namespace puffer::exp

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fugu/dataset.hh"
+#include "fugu/fugu.hh"
+#include "fugu/ttp.hh"
+#include "fugu/ttp_predictor.hh"
+#include "fugu/ttp_trainer.hh"
+#include "test_helpers.hh"
+#include "util/require.hh"
+
+namespace puffer::fugu {
+namespace {
+
+TEST(TtpBins, BoundariesMatchPaper) {
+  // [0, 0.25) -> 0; [0.25, 0.75) -> 1; ...; [9.75, inf) -> 20.
+  EXPECT_EQ(ttp_bin_of(0.0), 0);
+  EXPECT_EQ(ttp_bin_of(0.249), 0);
+  EXPECT_EQ(ttp_bin_of(0.25), 1);
+  EXPECT_EQ(ttp_bin_of(0.74), 1);
+  EXPECT_EQ(ttp_bin_of(0.75), 2);
+  EXPECT_EQ(ttp_bin_of(9.74), 19);
+  EXPECT_EQ(ttp_bin_of(9.75), 20);
+  EXPECT_EQ(ttp_bin_of(1000.0), 20);
+}
+
+TEST(TtpBins, MidpointsInsideTheirBins) {
+  for (int bin = 0; bin < kTtpBins; bin++) {
+    const double mid = ttp_bin_midpoint(bin);
+    EXPECT_EQ(ttp_bin_of(mid), bin) << "bin " << bin << " midpoint " << mid;
+  }
+}
+
+TEST(TtpBins, MidpointValues) {
+  EXPECT_DOUBLE_EQ(ttp_bin_midpoint(0), 0.125);
+  EXPECT_DOUBLE_EQ(ttp_bin_midpoint(1), 0.5);
+  EXPECT_DOUBLE_EQ(ttp_bin_midpoint(19), 9.5);
+  EXPECT_DOUBLE_EQ(ttp_bin_midpoint(20), 10.5);
+}
+
+TEST(ThroughputBins, MonotoneAndInvertible) {
+  int prev = -1;
+  for (double mbps = 0.05; mbps < 500.0; mbps *= 1.6) {
+    const int bin = throughput_bin_of(mbps * 1e6 / 8.0);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+  for (int bin = 0; bin < kTtpBins; bin++) {
+    EXPECT_EQ(throughput_bin_of(throughput_bin_midpoint_bps(bin)), bin);
+  }
+}
+
+TEST(TtpConfig, InputDimensions) {
+  TtpConfig full;
+  EXPECT_EQ(full.input_dim(), 8 + 8 + 5 + 1);  // = 22, paper section 4.5
+  TtpConfig no_tcp = full;
+  no_tcp.use_tcp_info = false;
+  EXPECT_EQ(no_tcp.input_dim(), 17);
+  TtpConfig throughput = full;
+  throughput.target = TtpTarget::kThroughput;
+  EXPECT_EQ(throughput.input_dim(), 21);  // no proposed-size input
+  TtpConfig short_history = full;
+  short_history.history = 2;
+  EXPECT_EQ(short_history.input_dim(), 2 + 2 + 5 + 1);
+}
+
+TEST(TtpFeaturize, PaddingAndOrdering) {
+  const TtpConfig config;
+  TtpHistory history;
+  history.record(1.0, 0.5, config.history);
+  history.record(2.0, 1.5, config.history);
+  net::TcpInfo tcp;
+  tcp.cwnd_pkts = 50.0;
+  tcp.delivery_rate_bps = 1.25e6;
+  const auto features = ttp_featurize(config, history, tcp, 3'000'000);
+  ASSERT_EQ(features.size(), 22u);
+  // Sizes oldest-first, left padded: slots 0..5 zero, 6 -> 1.0 MB, 7 -> 2.0.
+  EXPECT_FLOAT_EQ(features[5], 0.0f);
+  EXPECT_FLOAT_EQ(features[6], 1.0f);
+  EXPECT_FLOAT_EQ(features[7], 2.0f);
+  // Times at slots 8..15: last two are 0.5 and 1.5.
+  EXPECT_FLOAT_EQ(features[14], 0.5f);
+  EXPECT_FLOAT_EQ(features[15], 1.5f);
+  // tcp_info: cwnd/100.
+  EXPECT_FLOAT_EQ(features[16], 0.5f);
+  // delivery rate / 1.25e6.
+  EXPECT_FLOAT_EQ(features[20], 1.0f);
+  // Proposed size in MB is last.
+  EXPECT_FLOAT_EQ(features[21], 3.0f);
+}
+
+TEST(TtpHistory, BoundedByMax) {
+  TtpHistory history;
+  for (int i = 0; i < 30; i++) {
+    history.record(1.0, 1.0, 8);
+  }
+  EXPECT_EQ(history.sizes_mb.size(), 8u);
+}
+
+TEST(TtpModel, OneNetworkPerHorizonStep) {
+  const TtpConfig config;
+  const TtpModel model{config, 3};
+  EXPECT_EQ(model.networks().size(), static_cast<size_t>(config.horizon));
+  for (const auto& net : model.networks()) {
+    EXPECT_EQ(net.input_size(), 22u);
+    EXPECT_EQ(net.output_size(), static_cast<size_t>(kTtpBins));
+    // Paper: two hidden layers with 64 neurons each.
+    ASSERT_EQ(net.layer_sizes().size(), 4u);
+    EXPECT_EQ(net.layer_sizes()[1], 64u);
+    EXPECT_EQ(net.layer_sizes()[2], 64u);
+  }
+}
+
+TEST(TtpModel, PredictTxTimeIsDistribution) {
+  const TtpModel model{TtpConfig{}, 4};
+  TtpHistory history;
+  net::TcpInfo tcp;
+  const auto dist = model.predict_tx_time(0, history, tcp, 1'000'000);
+  ASSERT_EQ(dist.size(), static_cast<size_t>(kTtpBins));
+  double total = 0.0;
+  for (const auto& outcome : dist) {
+    EXPECT_GE(outcome.probability, 0.0);
+    total += outcome.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(TtpModel, ThroughputTargetScalesTimeWithSize) {
+  TtpConfig config;
+  config.target = TtpTarget::kThroughput;
+  const TtpModel model{config, 5};
+  TtpHistory history;
+  net::TcpInfo tcp;
+  const auto small = model.predict_tx_time(0, history, tcp, 500'000);
+  const auto big = model.predict_tx_time(0, history, tcp, 5'000'000);
+  // Same bin probabilities (size is not an input), but times scale ~10x in
+  // the unclamped middle bins.
+  for (size_t b = 8; b <= 16; b++) {
+    EXPECT_NEAR(big[b].time_s / small[b].time_s, 10.0, 0.1);
+    EXPECT_NEAR(big[b].probability, small[b].probability, 1e-6);
+  }
+}
+
+StreamLog synthetic_stream(Rng& rng, const int chunks, const double rate_mbps,
+                           const int day = 0,
+                           const double hidden_slowdown = 1.0) {
+  StreamLog log;
+  log.day = day;
+  const double rate_bps = rate_mbps * 1e6 / 8.0;
+  for (int i = 0; i < chunks; i++) {
+    ChunkLog chunk;
+    chunk.size_mb = rng.uniform(0.05, 1.4);
+    // hidden_slowdown models environment drift that is NOT visible in any
+    // input feature (delivery_rate still reports the nominal rate).
+    chunk.tx_time_s = hidden_slowdown * chunk.size_mb * 1e6 / rate_bps;
+    chunk.tcp_at_send.delivery_rate_bps = rate_bps;
+    chunk.tcp_at_send.cwnd_pkts = 40.0;
+    chunk.tcp_at_send.in_flight_pkts = 10.0;
+    chunk.tcp_at_send.min_rtt_s = 0.04;
+    chunk.tcp_at_send.srtt_s = 0.05;
+    log.chunks.push_back(chunk);
+  }
+  return log;
+}
+
+/// A dataset whose transmission times are exactly size/delivery_rate, with
+/// per-stream rates spanning a wide range: learnable from (size, tcp_info).
+TtpDataset synthetic_dataset(const uint64_t seed, const int streams,
+                             const int chunks_per_stream = 40) {
+  Rng rng{seed};
+  TtpDataset dataset;
+  for (int s = 0; s < streams; s++) {
+    const double rate_mbps = std::pow(10.0, rng.uniform(-0.3, 1.3));
+    dataset.push_back(synthetic_stream(rng, chunks_per_stream, rate_mbps));
+  }
+  return dataset;
+}
+
+TEST(BuildExamples, AlignmentOfHistoryAndLabels) {
+  Rng rng{6};
+  TtpDataset dataset = {synthetic_stream(rng, 10, 8.0)};
+  const TtpConfig config;
+  const auto examples = build_examples(config, dataset, /*step=*/0,
+                                       /*current_day=*/0, 1.0);
+  ASSERT_EQ(examples.size(), 10u);
+  // Example i's label must be the bin of chunk i's own transmission time.
+  for (size_t i = 0; i < examples.size(); i++) {
+    EXPECT_EQ(examples[i].label,
+              ttp_bin_of(dataset[0].chunks[i].tx_time_s));
+    EXPECT_DOUBLE_EQ(examples[i].true_tx_time_s,
+                     dataset[0].chunks[i].tx_time_s);
+    // The proposed-size feature (last) is chunk i's size.
+    EXPECT_NEAR(examples[i].features.back(), dataset[0].chunks[i].size_mb,
+                1e-5);
+  }
+  // Example 3's history must end with chunk 2's size.
+  EXPECT_NEAR(examples[3].features[7], dataset[0].chunks[2].size_mb, 1e-5);
+  EXPECT_FLOAT_EQ(examples[0].features[7], 0.0f);  // no history yet
+}
+
+TEST(BuildExamples, FutureStepLabels) {
+  Rng rng{7};
+  TtpDataset dataset = {synthetic_stream(rng, 10, 8.0)};
+  const TtpConfig config;
+  const auto examples =
+      build_examples(config, dataset, /*step=*/2, 0, 1.0);
+  ASSERT_EQ(examples.size(), 8u);  // i + 2 < 10
+  EXPECT_EQ(examples[0].label, ttp_bin_of(dataset[0].chunks[2].tx_time_s));
+}
+
+TEST(BuildExamples, RecencyWeights) {
+  Rng rng{8};
+  TtpDataset dataset = {synthetic_stream(rng, 5, 8.0, /*day=*/0),
+                        synthetic_stream(rng, 5, 8.0, /*day=*/3)};
+  const auto examples =
+      build_examples(TtpConfig{}, dataset, 0, /*current_day=*/3, 0.5);
+  // Day-0 stream is 3 days old: weight 0.5^3.
+  EXPECT_NEAR(examples[0].weight, 0.125f, 1e-5);
+  EXPECT_NEAR(examples[5].weight, 1.0f, 1e-5);
+}
+
+TEST(TtpTraining, LossDecreasesAndBeatsChance) {
+  const TtpDataset dataset = synthetic_dataset(9, 60);
+  TtpConfig config;
+  config.horizon = 1;
+  const TtpTrainConfig train_config;  // defaults: 6 epochs
+  Rng rng{10};
+  TtpTrainReport report;
+  const TtpModel model =
+      train_ttp(config, dataset, 0, train_config, rng, nullptr, &report);
+  ASSERT_EQ(report.loss_per_epoch.size(), 6u);
+  EXPECT_LT(report.loss_per_epoch.back(), report.loss_per_epoch.front());
+  // Uniform over 21 bins = ln 21 ~ 3.04 nats; the model must do much better.
+  const TtpEvaluation eval = evaluate_ttp(model, synthetic_dataset(11, 20));
+  EXPECT_LT(eval.cross_entropy, 2.0);
+  EXPECT_GT(eval.top1_accuracy, 0.30);
+}
+
+TEST(TtpTraining, WarmStartImprovesInitialLoss) {
+  const TtpDataset dataset = synthetic_dataset(12, 40);
+  const TtpConfig config;
+  TtpTrainConfig quick;
+  quick.epochs = 1;
+  Rng rng{13};
+  const TtpModel first = train_ttp(config, dataset, 0, quick, rng);
+  TtpTrainReport cold_report, warm_report;
+  Rng rng2{14};
+  train_ttp(config, dataset, 0, quick, rng2, nullptr, &cold_report);
+  Rng rng3{14};
+  train_ttp(config, dataset, 0, quick, rng3, &first, &warm_report);
+  EXPECT_LT(warm_report.loss_per_epoch.front(),
+            cold_report.loss_per_epoch.front());
+}
+
+/// The sliding window keeps the model trained on the *current* environment
+/// (paper section 4.3). A model whose window ends before a drift — the
+/// situation of "Emulation-trained Fugu" in Figure 11 — must fit the new
+/// regime much worse than one trained on fresh data. (Note the paper's own
+/// section 4.6 finding that when drift is mild or visible through the input
+/// features, retraining frequency barely matters; our test uses a hard
+/// regime change to expose the window's purpose.)
+TEST(TtpTraining, FreshWindowBeatsStaleModelAfterDrift) {
+  Rng rng{15};
+  // Day 0: normal world. Day 20: every transfer takes 4x longer.
+  TtpDataset dataset;
+  for (int s = 0; s < 80; s++) {
+    dataset.push_back(synthetic_stream(rng, 30, 4.0, 0, 1.0));
+    dataset.push_back(synthetic_stream(rng, 30, 4.0, 20, 4.0));
+  }
+  TtpConfig config;
+  config.horizon = 1;
+  TtpTrainConfig train_config;
+  train_config.window_days = 14;
+  train_config.epochs = 10;
+  train_config.batch_size = 128;
+
+  // "Fresh": window ending at day 20 (sees only the new regime).
+  Rng rng2{16};
+  const TtpModel fresh =
+      train_ttp(config, dataset, /*current_day=*/20, train_config, rng2);
+  // "Stale": window ending at day 0 (trained before the drift).
+  Rng rng3{16};
+  const TtpModel stale =
+      train_ttp(config, dataset, /*current_day=*/0, train_config, rng3);
+
+  TtpDataset current_regime;
+  for (int s = 0; s < 15; s++) {
+    current_regime.push_back(synthetic_stream(rng, 30, 4.0, 20, 4.0));
+  }
+  const auto fresh_eval = evaluate_ttp(fresh, current_regime);
+  const auto stale_eval = evaluate_ttp(stale, current_regime);
+  EXPECT_LT(fresh_eval.cross_entropy, stale_eval.cross_entropy);
+  EXPECT_GT(fresh_eval.top1_accuracy, stale_eval.top1_accuracy);
+  EXPECT_LT(fresh_eval.rmse_expected_s, stale_eval.rmse_expected_s);
+}
+
+TEST(TtpTraining, MismatchedWarmStartRejected) {
+  const TtpDataset dataset = synthetic_dataset(17, 10);
+  TtpConfig small;
+  small.hidden_layers = {};
+  Rng rng{18};
+  const TtpModel linear = train_ttp(small, dataset, 0,
+                                    TtpTrainConfig{.epochs = 1}, rng);
+  EXPECT_THROW(
+      train_ttp(TtpConfig{}, dataset, 0, TtpTrainConfig{.epochs = 1}, rng,
+                &linear),
+      RequirementError);
+}
+
+/// Figure 7's core ordering on a dataset where transmission time is a clean
+/// function of size and tcp_info: the full TTP must beat the
+/// throughput-only ablation (which cannot see size) and the no-tcp_info
+/// ablation (which cannot see the rate).
+TEST(TtpAblations, FullModelBeatsAblatedVariants) {
+  const TtpDataset train = synthetic_dataset(19, 80);
+  const TtpDataset test = synthetic_dataset(20, 25);
+  TtpTrainConfig tc;
+  tc.epochs = 6;
+
+  auto fit = [&](TtpConfig config) {
+    config.horizon = 1;  // evaluation uses step 0 only; faster
+    Rng rng{21};
+    return train_ttp(config, train, 0, tc, rng);
+  };
+
+  TtpConfig full_config;
+  full_config.horizon = 1;
+  const auto full = evaluate_ttp(fit(full_config), test);
+
+  TtpConfig no_tcp = full_config;
+  no_tcp.use_tcp_info = false;
+  const auto without_tcp = evaluate_ttp(fit(no_tcp), test);
+
+  TtpConfig linear = full_config;
+  linear.hidden_layers = {};
+  const auto linear_eval = evaluate_ttp(fit(linear), test);
+
+  EXPECT_LT(full.cross_entropy, without_tcp.cross_entropy);
+  EXPECT_LT(full.cross_entropy, linear_eval.cross_entropy);
+  // Probabilistic expectation beats the max-likelihood point estimate in
+  // RMSE (the "Point Estimate" ablation).
+  EXPECT_LE(full.rmse_expected_s, full.rmse_point_s * 1.05);
+}
+
+TEST(TtpPredictor, PointEstimateCollapsesDistribution) {
+  auto model = std::make_shared<const TtpModel>(TtpConfig{}, 22);
+  TtpPredictor probabilistic{model, false};
+  TtpPredictor point{model, true};
+  abr::AbrObservation obs;
+  probabilistic.begin_decision(obs);
+  point.begin_decision(obs);
+  EXPECT_EQ(probabilistic.predict(0, 1'000'000).size(),
+            static_cast<size_t>(kTtpBins));
+  const auto collapsed = point.predict(0, 1'000'000);
+  ASSERT_EQ(collapsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(collapsed[0].probability, 1.0);
+}
+
+TEST(TtpPredictor, HistoryUpdatesAndReset) {
+  auto model = std::make_shared<const TtpModel>(TtpConfig{}, 23);
+  TtpPredictor predictor{model};
+  abr::ChunkRecord record;
+  record.size_bytes = 2'000'000;
+  record.transmission_time_s = 1.0;
+  predictor.on_chunk_complete(record);
+  EXPECT_EQ(predictor.history().sizes_mb.size(), 1u);
+  predictor.reset_session();
+  EXPECT_TRUE(predictor.history().sizes_mb.empty());
+}
+
+TEST(MakeFugu, BuildsMpcWithTtp) {
+  auto model = std::make_shared<const TtpModel>(TtpConfig{}, 24);
+  const auto fugu = make_fugu(model);
+  EXPECT_EQ(fugu->name(), "Fugu");
+  abr::AbrObservation obs;
+  obs.buffer_s = 5.0;
+  const auto lookahead = test::make_lookahead(5);
+  const int rung = fugu->choose_rung(obs, lookahead);
+  EXPECT_GE(rung, 0);
+  EXPECT_LT(rung, media::kNumRungs);
+}
+
+TEST(DataAggregator, WindowFiltersByDay) {
+  DataAggregator aggregator;
+  Rng rng{25};
+  for (int day = 0; day < 20; day++) {
+    aggregator.add_stream(synthetic_stream(rng, 3, 5.0, day));
+  }
+  EXPECT_EQ(aggregator.num_streams(), 20u);
+  EXPECT_EQ(aggregator.num_chunks(), 60u);
+  const auto window = aggregator.window(/*current_day=*/19, /*window_days=*/14);
+  ASSERT_EQ(window.size(), 14u);
+  for (const auto& stream : window) {
+    EXPECT_GT(stream.day, 5);
+    EXPECT_LE(stream.day, 19);
+  }
+}
+
+}  // namespace
+}  // namespace puffer::fugu

@@ -1,0 +1,56 @@
+#ifndef PUFFER_TESTS_TEST_HELPERS_HH
+#define PUFFER_TESTS_TEST_HELPERS_HH
+
+#include <vector>
+
+#include "abr/abr.hh"
+#include "media/ladder.hh"
+#include "media/vbr_source.hh"
+
+namespace puffer::test {
+
+/// A deterministic chunk menu whose rung sizes follow the nominal ladder
+/// exactly and whose SSIM grows logarithmically — handy for controller tests
+/// that need known numbers.
+inline media::ChunkOptions make_menu(const int64_t index,
+                                     const double size_scale = 1.0) {
+  media::ChunkOptions menu;
+  menu.chunk_index = index;
+  for (int r = 0; r < media::kNumRungs; r++) {
+    const auto& rung = media::default_ladder()[static_cast<size_t>(r)];
+    media::ChunkVersion v;
+    v.rung = r;
+    v.size_bytes = static_cast<int64_t>(
+        static_cast<double>(media::nominal_chunk_bytes(rung)) * size_scale);
+    v.ssim_db = 12.9 + 2.41 * std::log(rung.nominal_bitrate_mbps);
+    menu.versions[static_cast<size_t>(r)] = v;
+  }
+  return menu;
+}
+
+inline std::vector<media::ChunkOptions> make_lookahead(const int n,
+                                                       const double scale = 1.0) {
+  std::vector<media::ChunkOptions> lookahead;
+  for (int i = 0; i < n; i++) {
+    lookahead.push_back(make_menu(i, scale));
+  }
+  return lookahead;
+}
+
+/// Feed a predictor/ABR a history of identical transfers at a given
+/// throughput (bytes/s).
+inline abr::ChunkRecord record_at_throughput(const int64_t index,
+                                             const double size_bytes,
+                                             const double throughput_bps) {
+  abr::ChunkRecord record;
+  record.chunk_index = index;
+  record.rung = 3;
+  record.size_bytes = static_cast<int64_t>(size_bytes);
+  record.ssim_db = 14.0;
+  record.transmission_time_s = size_bytes / throughput_bps;
+  return record;
+}
+
+}  // namespace puffer::test
+
+#endif  // PUFFER_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/channel.hh"
+#include "media/ladder.hh"
+#include "media/ssim.hh"
+#include "media/vbr_source.hh"
+#include "util/running_stats.hh"
+
+namespace puffer::media {
+namespace {
+
+TEST(Ladder, HasTenMonotoneRungs) {
+  const auto& ladder = default_ladder();
+  ASSERT_EQ(ladder.size(), static_cast<size_t>(kNumRungs));
+  for (int r = 0; r < kNumRungs; r++) {
+    EXPECT_EQ(ladder[static_cast<size_t>(r)].index, r);
+  }
+  for (int r = 1; r < kNumRungs; r++) {
+    EXPECT_GT(ladder[static_cast<size_t>(r)].nominal_bitrate_mbps,
+              ladder[static_cast<size_t>(r - 1)].nominal_bitrate_mbps);
+  }
+  // Paper section 3.1: ~200 kbps to ~5500 kbps.
+  EXPECT_NEAR(ladder.front().nominal_bitrate_mbps, 0.2, 1e-9);
+  EXPECT_NEAR(ladder.back().nominal_bitrate_mbps, 5.5, 1e-9);
+}
+
+TEST(Ladder, NominalChunkBytesMatchesBitrate) {
+  const Rung& top = default_ladder().back();
+  const double expected = 5.5e6 / 8.0 * kChunkDurationS;
+  EXPECT_NEAR(static_cast<double>(nominal_chunk_bytes(top)), expected, 1.0);
+}
+
+TEST(Ssim, DbConversionRoundTrip) {
+  for (const double db : {5.0, 10.0, 17.0, 25.0}) {
+    EXPECT_NEAR(ssim_to_db(db_to_ssim(db)), db, 1e-9);
+  }
+}
+
+TEST(Ssim, KnownValue) {
+  // SSIM 0.99 -> 20 dB.
+  EXPECT_NEAR(ssim_to_db(0.99), 20.0, 1e-9);
+}
+
+TEST(Ssim, RateQualityMonotoneInBitrate) {
+  double prev = -1e9;
+  for (double rate = 0.1; rate < 6.0; rate += 0.1) {
+    const double q = rate_quality_db(rate, 1.0);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Ssim, ComplexityLowersQualityAtFixedRate) {
+  EXPECT_GT(rate_quality_db(3.0, 0.5), rate_quality_db(3.0, 2.0));
+}
+
+TEST(Ssim, CalibrationAnchors) {
+  // Top rung around 17 dB, bottom around 9 dB for typical content
+  // (Figure 3b's range).
+  EXPECT_NEAR(rate_quality_db(5.5, 1.0), 17.0, 0.5);
+  EXPECT_NEAR(rate_quality_db(0.2, 1.0), 9.0, 0.5);
+}
+
+TEST(Channels, SixDistinctProfiles) {
+  const auto& channels = default_channels();
+  ASSERT_EQ(channels.size(), static_cast<size_t>(kNumChannels));
+  for (const auto& c : channels) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GT(c.scene_cut_rate, 0.0);
+    EXPECT_LT(c.scene_cut_rate, 1.0);
+  }
+}
+
+TEST(VbrSource, DeterministicForSameSeed) {
+  const ChannelProfile& profile = default_channels()[0];
+  VbrVideoSource a{profile, 7}, b{profile, 7};
+  for (int i = 0; i < 50; i++) {
+    const auto& ca = a.chunk_options(i);
+    const auto& cb = b.chunk_options(i);
+    for (int r = 0; r < kNumRungs; r++) {
+      EXPECT_EQ(ca.version(r).size_bytes, cb.version(r).size_bytes);
+      EXPECT_DOUBLE_EQ(ca.version(r).ssim_db, cb.version(r).ssim_db);
+    }
+  }
+}
+
+TEST(VbrSource, DifferentSeedsDiffer) {
+  const ChannelProfile& profile = default_channels()[0];
+  VbrVideoSource a{profile, 7}, b{profile, 8};
+  EXPECT_NE(a.chunk_options(0).version(9).size_bytes,
+            b.chunk_options(0).version(9).size_bytes);
+}
+
+TEST(VbrSource, RandomAccessConsistentWithSequential) {
+  const ChannelProfile& profile = default_channels()[1];
+  VbrVideoSource sequential{profile, 3}, random{profile, 3};
+  const auto& later = random.chunk_options(30);  // jump ahead first
+  for (int i = 0; i <= 30; i++) {
+    sequential.chunk_options(i);
+  }
+  EXPECT_EQ(later.version(0).size_bytes,
+            sequential.chunk_options(30).version(0).size_bytes);
+}
+
+TEST(VbrSource, SizesScaleWithRung) {
+  const ChannelProfile& profile = default_channels()[2];
+  VbrVideoSource source{profile, 11};
+  // On average the top rung must be much larger than the bottom rung.
+  double lo = 0.0, hi = 0.0;
+  for (int i = 0; i < 200; i++) {
+    const auto& menu = source.chunk_options(i);
+    lo += static_cast<double>(menu.version(0).size_bytes);
+    hi += static_cast<double>(menu.version(kNumRungs - 1).size_bytes);
+  }
+  EXPECT_GT(hi / lo, 15.0);  // 5.5 Mbps vs 0.2 Mbps nominal ~ 27x
+}
+
+/// Figure 3's premise: within one stream, chunk sizes and qualities vary
+/// substantially even at a fixed rung — parameterized across channels.
+class VbrVariability : public ::testing::TestWithParam<int> {};
+
+TEST_P(VbrVariability, SizesAndQualityVaryWithinStream) {
+  const auto& profile =
+      default_channels()[static_cast<size_t>(GetParam())];
+  VbrVideoSource source{profile, 1234};
+  RunningStats size_mb, ssim_db;
+  for (int i = 0; i < 400; i++) {
+    const auto& top = source.chunk_options(i).version(kNumRungs - 1);
+    size_mb.add(static_cast<double>(top.size_bytes) / 1e6);
+    ssim_db.add(top.ssim_db);
+  }
+  // Coefficient of variation of sizes is significant (paper Fig 3a shows
+  // ~0.3-6 MB for the 5500 kbps stream).
+  EXPECT_GT(size_mb.stddev() / size_mb.mean(), 0.10);
+  // Quality spreads visibly within a stream (Figure 3b).
+  EXPECT_GT(ssim_db.stddev(), 0.30);
+  // And the mean quality is in a plausible range.
+  EXPECT_GT(ssim_db.mean(), 12.0);
+  EXPECT_LT(ssim_db.mean(), 21.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChannels, VbrVariability,
+                         ::testing::Range(0, kNumChannels));
+
+TEST(VbrSource, HigherRungAlmostAlwaysHigherQuality) {
+  const ChannelProfile& profile = default_channels()[0];
+  VbrVideoSource source{profile, 5};
+  int violations = 0;
+  const int n = 300;
+  for (int i = 0; i < n; i++) {
+    const auto& menu = source.chunk_options(i);
+    if (menu.version(kNumRungs - 1).ssim_db <= menu.version(0).ssim_db) {
+      violations++;
+    }
+  }
+  EXPECT_EQ(violations, 0);  // top vs bottom should never invert
+}
+
+TEST(VbrSource, ComplexityIsPositiveAndPersistent) {
+  const ChannelProfile& profile = default_channels()[0];
+  VbrVideoSource source{profile, 21};
+  double correlation_num = 0.0, var = 0.0, mean = 0.0;
+  const int n = 500;
+  std::vector<double> c(n);
+  for (int i = 0; i < n; i++) {
+    c[static_cast<size_t>(i)] = source.complexity(i);
+    EXPECT_GT(c[static_cast<size_t>(i)], 0.0);
+    mean += c[static_cast<size_t>(i)];
+  }
+  mean /= n;
+  for (int i = 0; i + 1 < n; i++) {
+    correlation_num += (c[static_cast<size_t>(i)] - mean) *
+                       (c[static_cast<size_t>(i) + 1] - mean);
+  }
+  for (int i = 0; i < n; i++) {
+    var += (c[static_cast<size_t>(i)] - mean) * (c[static_cast<size_t>(i)] - mean);
+  }
+  // Lag-1 autocorrelation should be clearly positive (scene persistence).
+  EXPECT_GT(correlation_num / var, 0.3);
+}
+
+TEST(VbrSource, MinimumSizeFloor) {
+  const ChannelProfile& profile = default_channels()[2];
+  VbrVideoSource source{profile, 99};
+  for (int i = 0; i < 200; i++) {
+    for (int r = 0; r < kNumRungs; r++) {
+      EXPECT_GE(source.chunk_options(i).version(r).size_bytes, 2000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace puffer::media

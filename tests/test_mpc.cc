@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "abr/mpc.hh"
+#include "abr/mpc_abr.hh"
+#include "abr/throughput_predictors.hh"
+#include "test_helpers.hh"
+#include "util/require.hh"
+
+namespace puffer::abr {
+namespace {
+
+using test::make_lookahead;
+using test::record_at_throughput;
+
+/// Predictor whose behaviour is fully scripted by the test.
+class ScriptedPredictor final : public TxTimePredictor {
+ public:
+  explicit ScriptedPredictor(
+      std::function<TxTimeDistribution(int, int64_t)> fn)
+      : fn_(std::move(fn)) {}
+
+  void begin_decision(const AbrObservation&) override {}
+  TxTimeDistribution predict(const int step, const int64_t size) override {
+    return fn_(step, size);
+  }
+  void on_chunk_complete(const ChunkRecord&) override {}
+  void reset_session() override {}
+
+ private:
+  std::function<TxTimeDistribution(int, int64_t)> fn_;
+};
+
+ScriptedPredictor constant_throughput(const double bps) {
+  return ScriptedPredictor{[bps](int, const int64_t size) {
+    return TxTimeDistribution{
+        {static_cast<double>(size) / bps, 1.0}};
+  }};
+}
+
+TEST(Mpc, FastNetworkFullBufferPicksTopRung) {
+  StochasticMpc mpc;
+  ScriptedPredictor predictor = constant_throughput(100e6 / 8.0);  // 100 Mbps
+  AbrObservation obs;
+  obs.buffer_s = 14.0;
+  obs.prev_ssim_db = 17.0;
+  const auto lookahead = make_lookahead(5);
+  EXPECT_EQ(mpc.plan(obs, lookahead, predictor), media::kNumRungs - 1);
+}
+
+TEST(Mpc, SlowNetworkEmptyBufferPicksBottomRung) {
+  StochasticMpc mpc;
+  ScriptedPredictor predictor = constant_throughput(0.3e6 / 8.0);  // 0.3 Mbps
+  AbrObservation obs;
+  obs.buffer_s = 0.0;
+  obs.prev_ssim_db = -1.0;
+  const auto lookahead = make_lookahead(5);
+  EXPECT_EQ(mpc.plan(obs, lookahead, predictor), 0);
+}
+
+TEST(Mpc, ChoiceMonotoneInThroughput) {
+  StochasticMpc mpc;
+  AbrObservation obs;
+  obs.buffer_s = 8.0;
+  obs.prev_ssim_db = 14.0;
+  const auto lookahead = make_lookahead(5);
+  int prev_choice = 0;
+  for (const double mbps : {0.3, 1.0, 2.0, 4.0, 8.0, 20.0, 60.0}) {
+    ScriptedPredictor predictor = constant_throughput(mbps * 1e6 / 8.0);
+    const int choice = mpc.plan(obs, lookahead, predictor);
+    EXPECT_GE(choice, prev_choice) << "at " << mbps << " Mbps";
+    prev_choice = choice;
+  }
+  EXPECT_EQ(prev_choice, media::kNumRungs - 1);
+}
+
+TEST(Mpc, StallPenaltyDominatesNearEmptyBuffer) {
+  // At ~2 Mbit/s with 0.5 s of buffer, sending a top-rung (5.5 Mbit/s) chunk
+  // stalls for seconds; MPC must not pick it even though its quality is best.
+  StochasticMpc mpc;
+  ScriptedPredictor predictor = constant_throughput(2e6 / 8.0);
+  AbrObservation obs;
+  obs.buffer_s = 0.5;
+  obs.prev_ssim_db = 16.0;
+  const auto lookahead = make_lookahead(5);
+  const int choice = mpc.plan(obs, lookahead, predictor);
+  EXPECT_LE(choice, 2);
+}
+
+TEST(Mpc, QualityVariationPenaltySmoothsSwitches) {
+  // Previous chunk was low quality; with a huge lambda the controller must
+  // not jump straight to the top even on a fast network.
+  MpcConfig smooth_config;
+  smooth_config.lambda = 50.0;
+  StochasticMpc smooth{smooth_config};
+  StochasticMpc plain;  // lambda = 1
+
+  ScriptedPredictor predictor = constant_throughput(100e6 / 8.0);
+  AbrObservation obs;
+  obs.buffer_s = 10.0;
+  obs.prev_ssim_db = 9.0;  // bottom-rung quality
+  const auto lookahead = make_lookahead(5);
+  const int smooth_choice = smooth.plan(obs, lookahead, predictor);
+  const int plain_choice = plain.plan(obs, lookahead, predictor);
+  EXPECT_LT(smooth_choice, plain_choice);
+}
+
+TEST(Mpc, FirstChunkHasNoVariationPenalty) {
+  MpcConfig config;
+  config.lambda = 1000.0;  // would crush any switch if prev existed
+  StochasticMpc mpc{config};
+  ScriptedPredictor predictor = constant_throughput(100e6 / 8.0);
+  AbrObservation obs;
+  obs.buffer_s = 14.0;
+  obs.prev_ssim_db = -1.0;  // no previous chunk
+  const auto lookahead = make_lookahead(1);
+  EXPECT_EQ(mpc.plan(obs, lookahead, predictor), media::kNumRungs - 1);
+}
+
+/// Exhaustive open-loop enumeration. For deterministic (point-mass)
+/// predictors, the closed-loop DP optimum and the open-loop optimum agree,
+/// so this is an independent oracle for the value iteration.
+double brute_force_value(const std::vector<media::ChunkOptions>& lookahead,
+                         const int h, const int horizon, const double buffer,
+                         const double prev_ssim,
+                         const std::function<double(int, int64_t)>& tx_time,
+                         const MpcConfig& config, int* best_action) {
+  if (h == horizon) {
+    return 0.0;
+  }
+  double best = -1e18;
+  for (int a = 0; a < media::kNumRungs; a++) {
+    const auto& v = lookahead[static_cast<size_t>(h)].version(a);
+    const double t = tx_time(h, v.size_bytes);
+    double qoe = v.ssim_db;
+    if (prev_ssim >= 0.0) {
+      qoe -= config.lambda * std::abs(v.ssim_db - prev_ssim);
+    }
+    qoe -= config.mu * std::max(t - buffer, 0.0);
+    const double next_buffer = std::min(
+        std::max(buffer - t, 0.0) + config.chunk_duration_s,
+        config.max_buffer_s);
+    const double value =
+        qoe + brute_force_value(lookahead, h + 1, horizon, next_buffer,
+                                v.ssim_db, tx_time, config, nullptr);
+    if (value > best) {
+      best = value;
+      if (best_action != nullptr) {
+        *best_action = a;
+      }
+    }
+  }
+  return best;
+}
+
+/// Parameterized sweep: value iteration must match brute force across
+/// throughputs and buffer levels (with fine buffer bins to make the
+/// discretization error negligible).
+class MpcVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MpcVsBruteForce, MatchesExhaustiveSearch) {
+  const auto& [mbps, buffer] = GetParam();
+  MpcConfig config;
+  config.horizon = 3;
+  config.buffer_bin_s = 0.02;
+  StochasticMpc mpc{config};
+
+  const double bps = mbps * 1e6 / 8.0;
+  auto tx_time = [bps](int, const int64_t size) {
+    return std::clamp(static_cast<double>(size) / bps, 1e-3, 60.0);
+  };
+  ScriptedPredictor predictor{[&tx_time](const int step, const int64_t size) {
+    return TxTimeDistribution{{tx_time(step, size), 1.0}};
+  }};
+
+  AbrObservation obs;
+  obs.buffer_s = buffer;
+  obs.prev_ssim_db = 14.0;
+  const auto lookahead = make_lookahead(3);
+
+  const int mpc_choice = mpc.plan(obs, lookahead, predictor);
+  int brute_choice = -1;
+  const double brute_value =
+      brute_force_value(lookahead, 0, 3, buffer, 14.0, tx_time, config,
+                        &brute_choice);
+
+  // The chosen actions' true values must agree closely (ties in value can
+  // legitimately flip the argmax, so compare values, not indices).
+  int scratch = -1;
+  (void)scratch;
+  // Compute the true value of MPC's chosen first action under brute force.
+  const auto& v = lookahead[0].version(mpc_choice);
+  const double t = tx_time(0, v.size_bytes);
+  double qoe = v.ssim_db - config.lambda * std::abs(v.ssim_db - 14.0) -
+               config.mu * std::max(t - buffer, 0.0);
+  const double next_buffer =
+      std::min(std::max(buffer - t, 0.0) + config.chunk_duration_s,
+               config.max_buffer_s);
+  const double mpc_choice_value =
+      qoe + brute_force_value(lookahead, 1, 3, next_buffer, v.ssim_db, tx_time,
+                              config, nullptr);
+  EXPECT_NEAR(mpc_choice_value, brute_value, 0.35)
+      << "mpc picked " << mpc_choice << ", brute force " << brute_choice;
+  EXPECT_NEAR(mpc.last_plan_value(), brute_value, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpcVsBruteForce,
+    ::testing::Combine(::testing::Values(0.5, 1.5, 4.0, 12.0, 50.0),
+                       ::testing::Values(0.0, 2.0, 7.0, 14.0)));
+
+/// The heart of Fugu's "prediction with uncertainty" advantage (section 4.6):
+/// when the transmission time is bimodal (usually fast, occasionally awful),
+/// a point-estimate controller gambles while the stochastic controller hedges.
+TEST(Mpc, StochasticHedgesAgainstBimodalRisk) {
+  MpcConfig config;
+  config.horizon = 1;
+  config.lambda = 0.0;  // isolate the stall-risk tradeoff
+  StochasticMpc mpc{config};
+
+  // Menu with two rungs that matter: rung 9 (big, great quality) and the
+  // rest. Big chunk: 85% fast (0.3 s), 15% disastrous (11 s). Small chunks:
+  // always fast.
+  auto risky = [](const int /*step*/, const int64_t size) {
+    if (size > 1'000'000) {
+      return TxTimeDistribution{{0.3, 0.85}, {11.0, 0.15}};
+    }
+    return TxTimeDistribution{{0.1, 1.0}};
+  };
+  ScriptedPredictor stochastic_predictor{risky};
+  // Point-estimate version: collapse to the most likely outcome.
+  ScriptedPredictor point_predictor{[&risky](const int step, const int64_t size) {
+    TxTimeDistribution dist = risky(step, size);
+    TxTimeOutcome best = dist[0];
+    for (const auto& outcome : dist) {
+      if (outcome.probability > best.probability) {
+        best = outcome;
+      }
+    }
+    return TxTimeDistribution{{best.time_s, 1.0}};
+  }};
+
+  AbrObservation obs;
+  obs.buffer_s = 3.0;
+  obs.prev_ssim_db = 16.0;
+  const auto lookahead = make_lookahead(1);
+
+  const int stochastic_choice = mpc.plan(obs, lookahead, stochastic_predictor);
+  const int point_choice = mpc.plan(obs, lookahead, point_predictor);
+
+  // Point estimate sees "0.3 s, safe" and takes the top rung; the stochastic
+  // controller prices in the 15% * mu * 8 s stall and refuses.
+  EXPECT_EQ(point_choice, media::kNumRungs - 1);
+  EXPECT_LT(stochastic_choice, media::kNumRungs - 1);
+
+  // And the stochastic choice has higher true expected QoE.
+  auto expected_qoe = [&](const int rung) {
+    const auto& v = lookahead[0].version(rung);
+    double total = 0.0;
+    for (const auto& outcome : risky(0, v.size_bytes)) {
+      total += outcome.probability *
+               (v.ssim_db - 100.0 * std::max(outcome.time_s - 3.0, 0.0));
+    }
+    return total;
+  };
+  EXPECT_GT(expected_qoe(stochastic_choice), expected_qoe(point_choice));
+}
+
+TEST(Mpc, PrunesNegligibleOutcomesWithoutChangingDecision) {
+  MpcConfig tight;
+  tight.prune_probability = 1e-3;
+  tight.lambda = 0.0;  // distinct per-rung QoE values avoid argmax ties
+  MpcConfig none = tight;
+  none.prune_probability = 0.0;
+  StochasticMpc pruned{tight}, full{none};
+
+  auto noisy = [](const int, const int64_t size) {
+    // Two dominant outcomes plus sub-threshold jitter outcomes whose times
+    // are close to the dominant ones — genuinely negligible mass AND value.
+    TxTimeDistribution dist;
+    const double base = static_cast<double>(size) / (2e6 / 8.0);
+    dist.push_back({base, 0.60});
+    dist.push_back({base * 1.5, 0.3996});
+    for (int i = 0; i < 8; i++) {
+      dist.push_back({base * (1.0 + 0.05 * i), 0.0004 / 8});
+    }
+    return dist;
+  };
+  ScriptedPredictor p1{noisy}, p2{noisy};
+
+  AbrObservation obs;
+  obs.buffer_s = 6.0;
+  obs.prev_ssim_db = 14.0;
+  const auto lookahead = make_lookahead(5);
+  const int pruned_choice = pruned.plan(obs, lookahead, p1);
+  const int full_choice = full.plan(obs, lookahead, p2);
+  EXPECT_EQ(pruned_choice, full_choice);
+  EXPECT_NEAR(pruned.last_plan_value(), full.last_plan_value(), 0.2);
+}
+
+TEST(Mpc, ShortLookaheadStillWorks) {
+  StochasticMpc mpc;
+  ScriptedPredictor predictor = constant_throughput(8e6 / 8.0);
+  AbrObservation obs;
+  obs.buffer_s = 8.0;
+  obs.prev_ssim_db = 14.0;
+  const auto lookahead = make_lookahead(1);  // live edge: only one chunk known
+  const int choice = mpc.plan(obs, lookahead, predictor);
+  EXPECT_GE(choice, 0);
+  EXPECT_LT(choice, media::kNumRungs);
+}
+
+TEST(Mpc, EmptyLookaheadRejected) {
+  StochasticMpc mpc;
+  ScriptedPredictor predictor = constant_throughput(1e6);
+  AbrObservation obs;
+  EXPECT_THROW(mpc.plan(obs, {}, predictor), RequirementError);
+}
+
+TEST(MpcAbr, EndToEndWithHarmonicMean) {
+  MpcAbr abr{"MPC-HM", std::make_unique<HarmonicMeanPredictor>()};
+  AbrObservation obs;
+  obs.buffer_s = 10.0;
+  obs.prev_ssim_db = -1.0;
+  const auto lookahead = make_lookahead(5);
+
+  // Feed a fast history; the controller should go high.
+  for (int i = 0; i < 5; i++) {
+    abr.on_chunk_complete(record_at_throughput(i, 1e6, 8e6));
+  }
+  const int fast_choice = abr.choose_rung(obs, lookahead);
+
+  abr.reset_session();
+  for (int i = 0; i < 5; i++) {
+    abr.on_chunk_complete(record_at_throughput(i, 1e6, 0.1e6));
+  }
+  const int slow_choice = abr.choose_rung(obs, lookahead);
+  EXPECT_GT(fast_choice, slow_choice);
+}
+
+TEST(MpcAbr, RequiresPredictor) {
+  EXPECT_THROW(MpcAbr("x", nullptr), RequirementError);
+}
+
+}  // namespace
+}  // namespace puffer::abr

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "abr/bba.hh"
+#include "exp/open_data.hh"
+#include "media/channel.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "sim/session.hh"
+
+namespace puffer::exp {
+namespace {
+
+constexpr double kMbps = 1e6 / 8.0;
+
+struct InstrumentedRun {
+  OpenDataWriter writer;
+  sim::StreamOutcome outcome;
+};
+
+InstrumentedRun run_instrumented(const double rate_mbps,
+                                 const double intent_s = 120.0,
+                                 const int64_t stream_id = 7,
+                                 const int expt_id = 3) {
+  auto run = std::make_unique<InstrumentedRun>();
+  const size_t n = 4000;
+  const net::NetworkPath path{
+      net::ThroughputTrace{std::vector<double>(n, rate_mbps * kMbps), 1.0},
+      0.040};
+  net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(path)};
+  sim::send_preamble(sender);
+  abr::Bba bba;
+  media::VbrVideoSource video{media::default_channels()[0], 5};
+  sim::UserBehavior viewer;
+  viewer.watch_intent_s = intent_s;
+  viewer.stall_patience_s = 1e9;
+  viewer.stall_hazard_per_s = 0.0;
+  viewer.quality_hazard_per_s_db = 0.0;
+  Rng rng{1};
+  auto recorder = run->writer.observer_for(stream_id, expt_id);
+  InstrumentedRun result;
+  result.outcome =
+      sim::run_stream(sender, bba, video, 0, viewer, rng, {}, &recorder);
+  // writer holds rows already; move them over.
+  result.writer = std::move(run->writer);
+  return result;
+}
+
+TEST(OpenData, SentAndAckedMatchChunksPlayed) {
+  const InstrumentedRun run = run_instrumented(20.0);
+  EXPECT_EQ(run.writer.video_sent().size(),
+            static_cast<size_t>(run.outcome.chunks_played));
+  EXPECT_EQ(run.writer.video_acked().size(), run.writer.video_sent().size());
+}
+
+TEST(OpenData, AckAlwaysAfterSend) {
+  const InstrumentedRun run = run_instrumented(10.0);
+  ASSERT_EQ(run.writer.video_sent().size(), run.writer.video_acked().size());
+  for (size_t i = 0; i < run.writer.video_sent().size(); i++) {
+    EXPECT_GT(run.writer.video_acked()[i].time,
+              run.writer.video_sent()[i].time);
+  }
+}
+
+TEST(OpenData, TransmissionTimesRecoverableByMatching) {
+  // The paper's analysis matches video_acked to video_sent to compute chunk
+  // transmission times; on a constant-rate path these should be close to
+  // size / rate once warmed up.
+  const InstrumentedRun run = run_instrumented(8.0, 120.0);
+  const auto& sent = run.writer.video_sent();
+  const auto& acked = run.writer.video_acked();
+  for (size_t i = 10; i < sent.size(); i++) {
+    const double tx = acked[i].time - sent[i].time;
+    const double ideal = static_cast<double>(sent[i].size) / (8.0 * kMbps);
+    EXPECT_GT(tx, 0.5 * ideal);
+    EXPECT_LT(tx, 4.0 * ideal + 0.5);
+  }
+}
+
+TEST(OpenData, StreamAndExperimentIdsPropagate) {
+  const InstrumentedRun run = run_instrumented(10.0, 30.0, 1234, 42);
+  for (const auto& row : run.writer.video_sent()) {
+    EXPECT_EQ(row.stream_id, 1234);
+    EXPECT_EQ(row.expt_id, 42);
+  }
+  for (const auto& row : run.writer.client_buffer()) {
+    EXPECT_EQ(row.stream_id, 1234);
+    EXPECT_EQ(row.expt_id, 42);
+  }
+}
+
+TEST(OpenData, TcpFieldsPlausible) {
+  const InstrumentedRun run = run_instrumented(10.0);
+  for (const auto& row : run.writer.video_sent()) {
+    EXPECT_GT(row.cwnd, 0.0);
+    EXPECT_GE(row.in_flight, 0.0);
+    EXPECT_GT(row.min_rtt, 0.0);
+    EXPECT_GE(row.rtt, row.min_rtt - 1e-9);
+    EXPECT_GT(row.delivery_rate, 0.0);
+    EXPECT_GT(row.ssim_index, 0.0);
+    EXPECT_LT(row.ssim_index, 1.0);
+  }
+}
+
+TEST(OpenData, ClientBufferEventsWellFormed) {
+  const InstrumentedRun run = run_instrumented(20.0);
+  bool saw_startup = false;
+  double last_cum_rebuf = 0.0;
+  for (const auto& row : run.writer.client_buffer()) {
+    if (row.event == "startup") {
+      saw_startup = true;
+    }
+    EXPECT_GE(row.buffer, 0.0);
+    EXPECT_LE(row.buffer, 15.0 + media::kChunkDurationS + 1e-9);
+    EXPECT_GE(row.cum_rebuf, last_cum_rebuf - 1e-9);
+    last_cum_rebuf = row.cum_rebuf;
+  }
+  EXPECT_TRUE(saw_startup);
+}
+
+TEST(OpenData, RebufferEventsOnSlowPath) {
+  // Force stalls: BBA keeps buffer-based control, but a sub-bitrate path
+  // will still starve it occasionally at the lowest rung? Use a path fast
+  // enough to start, then rely on a high-rung-forcing check instead:
+  // simplest robust trigger is a very slow path where even rung 0 stalls.
+  const InstrumentedRun run = run_instrumented(0.15, 120.0);
+  int rebuffers = 0;
+  for (const auto& row : run.writer.client_buffer()) {
+    if (row.event == "rebuffer") {
+      rebuffers++;
+    }
+  }
+  EXPECT_GT(rebuffers, 0);
+}
+
+TEST(OpenData, CsvHeadersMatchAppendixB) {
+  OpenDataWriter writer;
+  EXPECT_EQ(writer.video_sent_csv(),
+            "time,stream_id,expt_id,size,ssim_index,cwnd,in_flight,min_rtt,"
+            "rtt,delivery_rate\n");
+  EXPECT_EQ(writer.video_acked_csv(), "time,stream_id,expt_id,chunk_index\n");
+  EXPECT_EQ(writer.client_buffer_csv(),
+            "time,stream_id,expt_id,event,buffer,cum_rebuf\n");
+}
+
+TEST(OpenDataAnalysis, RoundTripsSimulatorTelemetry) {
+  // The public-archive analysis must reconstruct what the simulator measured
+  // directly: same chunk count, same SSIM statistics, same stall time.
+  const InstrumentedRun run = run_instrumented(6.0, 240.0);
+  const auto analyzed =
+      analyze_open_data(run.writer.video_sent(), run.writer.video_acked(),
+                        run.writer.client_buffer());
+  ASSERT_EQ(analyzed.size(), 1u);
+  const AnalyzedStream& stream = analyzed[0];
+  EXPECT_EQ(stream.chunks, run.outcome.chunks_played);
+  EXPECT_NEAR(stream.ssim_mean_db, run.outcome.figures.ssim_mean_db, 0.02);
+  EXPECT_NEAR(stream.ssim_variation_db,
+              run.outcome.figures.ssim_variation_db, 0.02);
+  EXPECT_NEAR(stream.stall_time_s, run.outcome.figures.stall_time_s, 0.01);
+  // Watch time reconstruction counts whole fetched chunks; allow one
+  // buffer's worth of slack.
+  EXPECT_NEAR(stream.watch_time_s, run.outcome.figures.watch_time_s, 16.0);
+}
+
+TEST(OpenDataAnalysis, SeparatesStreams) {
+  OpenDataWriter writer;
+  // Two instrumented streams into one writer.
+  for (const int64_t stream_id : {1, 2}) {
+    const size_t n = 2000;
+    const net::NetworkPath path{
+        net::ThroughputTrace{std::vector<double>(n, 10.0 * kMbps), 1.0},
+        0.040};
+    net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                          net::TcpSender::default_queue_capacity(path)};
+    sim::send_preamble(sender);
+    abr::Bba bba;
+    media::VbrVideoSource video{media::default_channels()[0],
+                                static_cast<uint64_t>(stream_id)};
+    sim::UserBehavior viewer;
+    viewer.watch_intent_s = 30.0 * static_cast<double>(stream_id);
+    viewer.stall_patience_s = 1e9;
+    viewer.stall_hazard_per_s = 0.0;
+    viewer.quality_hazard_per_s_db = 0.0;
+    Rng rng{static_cast<uint64_t>(stream_id)};
+    auto recorder = writer.observer_for(stream_id, 9);
+    sim::run_stream(sender, bba, video, 0, viewer, rng, {}, &recorder);
+  }
+  const auto analyzed = analyze_open_data(
+      writer.video_sent(), writer.video_acked(), writer.client_buffer());
+  ASSERT_EQ(analyzed.size(), 2u);
+  EXPECT_EQ(analyzed[0].stream_id, 1);
+  EXPECT_EQ(analyzed[1].stream_id, 2);
+  // Stream 2 watched twice as long: roughly twice the chunks.
+  EXPECT_GT(analyzed[1].chunks, analyzed[0].chunks);
+}
+
+TEST(OpenDataAnalysis, ThroughputEstimatesTrackPath) {
+  const InstrumentedRun run = run_instrumented(8.0, 120.0);
+  const auto analyzed =
+      analyze_open_data(run.writer.video_sent(), run.writer.video_acked(),
+                        run.writer.client_buffer());
+  ASSERT_EQ(analyzed.size(), 1u);
+  EXPECT_GT(analyzed[0].mean_throughput_mbps, 3.0);
+  EXPECT_LT(analyzed[0].mean_throughput_mbps, 12.0);
+  EXPECT_GT(analyzed[0].mean_tx_time_s, 0.0);
+}
+
+TEST(OpenData, WriteAllCreatesThreeFiles) {
+  const InstrumentedRun run = run_instrumented(10.0, 30.0);
+  const std::string dir = ::testing::TempDir();
+  run.writer.write_all(dir, "test_export");
+  for (const auto* name :
+       {"test_export_video_sent.csv", "test_export_video_acked.csv",
+        "test_export_client_buffer.csv"}) {
+    const std::string path = dir + "/" + name;
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_GT(std::filesystem::file_size(path), 20u) << path;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace puffer::exp

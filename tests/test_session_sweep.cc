@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "abr/bba.hh"
+#include "abr/mpc_abr.hh"
+#include "abr/throughput_predictors.hh"
+#include "media/channel.hh"
+#include "net/bbr.hh"
+#include "net/tcp_sender.hh"
+#include "sim/session.hh"
+
+namespace puffer::sim {
+namespace {
+
+constexpr double kMbps = 1e6 / 8.0;
+
+std::unique_ptr<abr::AbrAlgorithm> make_algo(const std::string& name) {
+  if (name == "BBA") {
+    return std::make_unique<abr::Bba>();
+  }
+  if (name == "MPC-HM") {
+    return std::make_unique<abr::MpcAbr>(
+        name, std::make_unique<abr::HarmonicMeanPredictor>());
+  }
+  return std::make_unique<abr::MpcAbr>(
+      name, std::make_unique<abr::RobustThroughputPredictor>());
+}
+
+StreamOutcome run_once(const std::string& scheme, const double rate_mbps,
+                       const uint64_t seed = 11) {
+  const net::NetworkPath path{
+      net::ThroughputTrace{std::vector<double>(4000, rate_mbps * kMbps), 1.0},
+      0.040};
+  net::TcpSender sender{path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(path)};
+  send_preamble(sender);
+  const auto algo = make_algo(scheme);
+  algo->reset_session();
+  media::VbrVideoSource video{media::default_channels()[1], seed};
+  UserBehavior viewer;
+  viewer.watch_intent_s = 180.0;
+  viewer.stall_patience_s = 1e9;
+  viewer.stall_hazard_per_s = 0.0;
+  viewer.quality_hazard_per_s_db = 0.0;
+  Rng rng{seed};
+  return run_stream(sender, *algo, video, 0, viewer, rng);
+}
+
+/// Invariant sweep: every classical scheme on every constant-rate path must
+/// produce physically consistent telemetry.
+class SessionInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(SessionInvariants, TelemetryIsConsistent) {
+  const auto& [scheme, rate_mbps] = GetParam();
+  const StreamOutcome outcome = run_once(scheme, rate_mbps);
+
+  ASSERT_TRUE(outcome.began_playing);
+  const auto& f = outcome.figures;
+  // Watch time reaches the intent (within the stall contribution).
+  EXPECT_GE(f.watch_time_s, 170.0);
+  // Stall ratio is bounded: even on the slowest path, the lowest rung
+  // (~0.2 Mbit/s nominal) keeps the session mostly playing.
+  EXPECT_LE(f.stall_time_s / f.watch_time_s, 0.5);
+  // SSIM within the encoder's physical range, variation non-negative.
+  EXPECT_GT(f.ssim_mean_db, 3.0);
+  EXPECT_LT(f.ssim_mean_db, 25.0);
+  EXPECT_GE(f.ssim_variation_db, 0.0);
+  // Startup happens within seconds.
+  EXPECT_GT(f.startup_delay_s, 0.0);
+  EXPECT_LT(f.startup_delay_s, 20.0);
+  // Fetched video is bounded by played time plus one full buffer.
+  EXPECT_LE(outcome.chunks_played * media::kChunkDurationS,
+            f.watch_time_s + 15.0 + 2.1);
+  // Long-run average bitrate cannot exceed path capacity (fluid bound).
+  EXPECT_LE(f.mean_bitrate_mbps, rate_mbps * 1.25 + 0.1);
+  // Delivery-rate classification is on the right side of the path rate.
+  EXPECT_LE(f.mean_delivery_rate_mbps, rate_mbps * 1.2 + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndRates, SessionInvariants,
+    ::testing::Combine(::testing::Values("BBA", "MPC-HM", "RobustMPC-HM"),
+                       ::testing::Values(0.7, 2.0, 6.0, 25.0)));
+
+/// Adaptation property: on faster paths every scheme delivers at least as
+/// much quality, and on fast paths approaches the ladder ceiling.
+class SchemeAdaptation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeAdaptation, QualityGrowsWithCapacity) {
+  const std::string scheme = GetParam();
+  double prev_ssim = 0.0;
+  for (const double rate : {0.7, 2.0, 6.0, 25.0}) {
+    const StreamOutcome outcome = run_once(scheme, rate);
+    EXPECT_GE(outcome.figures.ssim_mean_db, prev_ssim - 0.4)
+        << scheme << " at " << rate << " Mbit/s";
+    prev_ssim = outcome.figures.ssim_mean_db;
+  }
+  // At 25 Mbit/s every scheme should be near the top of the ladder.
+  EXPECT_GT(prev_ssim, 15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassical, SchemeAdaptation,
+                         ::testing::Values("BBA", "MPC-HM", "RobustMPC-HM"));
+
+TEST(SessionDeterminism, SameSeedSameOutcome) {
+  const StreamOutcome a = run_once("MPC-HM", 4.0, 77);
+  const StreamOutcome b = run_once("MPC-HM", 4.0, 77);
+  EXPECT_DOUBLE_EQ(a.figures.watch_time_s, b.figures.watch_time_s);
+  EXPECT_DOUBLE_EQ(a.figures.ssim_mean_db, b.figures.ssim_mean_db);
+  EXPECT_DOUBLE_EQ(a.figures.stall_time_s, b.figures.stall_time_s);
+  EXPECT_EQ(a.chunks_played, b.chunks_played);
+}
+
+TEST(SessionDeterminism, DifferentSeedsDifferentVideo) {
+  const StreamOutcome a = run_once("BBA", 4.0, 1);
+  const StreamOutcome b = run_once("BBA", 4.0, 2);
+  EXPECT_NE(a.figures.ssim_mean_db, b.figures.ssim_mean_db);
+}
+
+}  // namespace
+}  // namespace puffer::sim

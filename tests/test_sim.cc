@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "abr/bba.hh"
+#include "net/bbr.hh"
+#include "sim/session.hh"
+#include "sim/user_model.hh"
+#include "util/running_stats.hh"
+
+namespace puffer::sim {
+namespace {
+
+constexpr double kMbps = 1e6 / 8.0;
+
+/// Trivial ABR that always picks a fixed rung — isolates session mechanics
+/// from adaptation logic.
+class FixedRung final : public abr::AbrAlgorithm {
+ public:
+  explicit FixedRung(const int rung) : rung_(rung) {}
+  [[nodiscard]] std::string_view name() const override { return "Fixed"; }
+  void reset_session() override {}
+  int choose_rung(const abr::AbrObservation&,
+                  std::span<const media::ChunkOptions>) override {
+    return rung_;
+  }
+  void on_chunk_complete(const abr::ChunkRecord&) override {}
+
+ private:
+  int rung_;
+};
+
+net::NetworkPath constant_path(const double rate_mbps,
+                               const double duration_s = 3600.0) {
+  const size_t n = static_cast<size_t>(duration_s) + 1;
+  return net::NetworkPath{
+      net::ThroughputTrace{std::vector<double>(n, rate_mbps * kMbps), 1.0},
+      0.040};
+}
+
+net::TcpSender make_sender(const net::NetworkPath& path) {
+  return net::TcpSender{path, std::make_unique<net::BbrModel>(),
+                        net::TcpSender::default_queue_capacity(path)};
+}
+
+UserBehavior patient_viewer(const double intent_s) {
+  UserBehavior user;
+  user.watch_intent_s = intent_s;
+  user.stall_patience_s = 1e9;
+  user.stall_hazard_per_s = 0.0;
+  user.quality_hazard_per_s_db = 0.0;
+  return user;
+}
+
+media::VbrVideoSource make_video(const uint64_t seed = 1) {
+  return media::VbrVideoSource{media::default_channels()[0], seed};
+}
+
+TEST(RunStream, AmpleBandwidthNeverStalls) {
+  const auto path = constant_path(50.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{5};
+  auto video = make_video();
+  Rng rng{1};
+  const auto outcome = run_stream(sender, abr, video, 0,
+                                  patient_viewer(120.0), rng);
+  EXPECT_TRUE(outcome.began_playing);
+  EXPECT_DOUBLE_EQ(outcome.figures.stall_time_s, 0.0);
+  EXPECT_NEAR(outcome.figures.watch_time_s, 120.0, 3.0);
+  EXPECT_GT(outcome.chunks_played, 50);
+}
+
+TEST(RunStream, StartupDelayPositiveAndSmallOnFastPath) {
+  const auto path = constant_path(50.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{0};
+  auto video = make_video();
+  Rng rng{2};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(30.0), rng);
+  EXPECT_GT(outcome.figures.startup_delay_s, 0.0);
+  EXPECT_LT(outcome.figures.startup_delay_s, 1.5);
+}
+
+TEST(RunStream, OverAggressiveRungStallsOnSlowPath) {
+  const auto path = constant_path(1.0);  // 1 Mbit/s
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{9};  // 5.5 Mbit/s nominal: impossible
+  auto video = make_video();
+  Rng rng{3};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(60.0), rng);
+  EXPECT_GT(outcome.figures.stall_time_s, 10.0);
+}
+
+TEST(RunStream, LowestRungSurvivesSlowPath) {
+  const auto path = constant_path(1.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{0};  // 200 kbit/s nominal
+  auto video = make_video();
+  Rng rng{4};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(60.0), rng);
+  EXPECT_LT(outcome.figures.stall_time_s, 1.0);
+}
+
+TEST(RunStream, ZapperLeavesBeforePlaybackBegins) {
+  const auto path = constant_path(0.8);  // startup takes a while
+  auto sender = make_sender(path);
+  FixedRung abr{0};
+  auto video = make_video();
+  Rng rng{5};
+  UserBehavior zapper = patient_viewer(0.05);  // leaves after 50 ms
+  const auto outcome = run_stream(sender, abr, video, 0, zapper, rng);
+  EXPECT_FALSE(outcome.began_playing);
+  EXPECT_EQ(outcome.chunks_played, 0);
+}
+
+TEST(RunStream, ImpatientViewerAbandonsDuringStall) {
+  const auto path = constant_path(0.9);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{9};  // guaranteed stalls
+  auto video = make_video();
+  Rng rng{6};
+  UserBehavior user = patient_viewer(600.0);
+  user.stall_patience_s = 3.0;
+  const auto outcome = run_stream(sender, abr, video, 0, user, rng);
+  // The user left long before their 10-minute intent.
+  EXPECT_LT(outcome.figures.watch_time_s, 120.0);
+  EXPECT_GT(outcome.figures.stall_time_s, 0.0);
+}
+
+TEST(RunStream, WallTimeCoversWatchAndStartup) {
+  const auto path = constant_path(20.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{3};
+  auto video = make_video();
+  Rng rng{7};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(60.0), rng);
+  EXPECT_GE(outcome.wall_time_s + 1e-9,
+            outcome.figures.watch_time_s + outcome.figures.startup_delay_s -
+                15.1);  // minus at most one buffer of unplayed chunks
+  EXPECT_GE(outcome.wall_time_s, outcome.figures.watch_time_s * 0.9);
+}
+
+TEST(RunStream, TransferLogMatchesChunksPlayed) {
+  const auto path = constant_path(20.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{3};
+  auto video = make_video();
+  Rng rng{8};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(45.0), rng);
+  EXPECT_EQ(outcome.transfer_log.size(),
+            static_cast<size_t>(outcome.chunks_played));
+  for (const auto& entry : outcome.transfer_log) {
+    EXPECT_GT(entry.size_mb, 0.0);
+    EXPECT_GT(entry.tx_time_s, 0.0);
+    EXPECT_GT(entry.tcp_at_send.cwnd_pkts, 0.0);
+  }
+}
+
+TEST(RunStream, SsimTelemetryInPlausibleRange) {
+  const auto path = constant_path(30.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{9};
+  auto video = make_video();
+  Rng rng{9};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(120.0), rng);
+  EXPECT_GT(outcome.figures.ssim_mean_db, 12.0);
+  EXPECT_LT(outcome.figures.ssim_mean_db, 22.0);
+  EXPECT_GT(outcome.figures.ssim_variation_db, 0.0);
+  EXPECT_GT(outcome.figures.first_chunk_ssim_db, 5.0);
+}
+
+TEST(RunStream, MeanBitrateTracksChosenRung) {
+  const auto path = constant_path(30.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung low{0}, high{9};
+  auto video1 = make_video(10);
+  auto video2 = make_video(10);
+  Rng rng{10};
+  const auto lo =
+      run_stream(sender, low, video1, 0, patient_viewer(60.0), rng);
+  const auto hi =
+      run_stream(sender, high, video2, 0, patient_viewer(60.0), rng);
+  EXPECT_GT(hi.figures.mean_bitrate_mbps, 5.0 * lo.figures.mean_bitrate_mbps);
+}
+
+TEST(RunStream, MeanDeliveryRateClassifiesSlowPath) {
+  const auto slow_path = constant_path(2.0);
+  auto sender = make_sender(slow_path);
+  sim::send_preamble(sender);
+  FixedRung abr{2};
+  auto video = make_video(11);
+  Rng rng{11};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(90.0), rng);
+  EXPECT_GT(outcome.figures.mean_delivery_rate_mbps, 0.0);
+  EXPECT_LT(outcome.figures.mean_delivery_rate_mbps, 6.0);
+}
+
+TEST(RunStream, BufferCapThrottlesSending) {
+  // On a very fast path the server must not run unboundedly ahead: wall time
+  // tracks played time, not download speed.
+  const auto path = constant_path(200.0);
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{0};  // tiny chunks: could download hours of video in seconds
+  auto video = make_video(12);
+  Rng rng{12};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(60.0), rng);
+  // 60 s of content, max buffer 15 s: at most ~75 s of chunks fetched.
+  EXPECT_LE(outcome.chunks_played * media::kChunkDurationS, 80.0);
+}
+
+TEST(RunStream, OutageInMiddleCausesStallOrAbandon) {
+  // 20 s outage in the middle of an otherwise fast trace.
+  std::vector<double> rates(600, 20.0 * kMbps);
+  for (size_t i = 60; i < 80; i++) {
+    rates[i] = 0.01 * kMbps;
+  }
+  const net::NetworkPath path{net::ThroughputTrace{rates, 1.0}, 0.040};
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{5};
+  auto video = make_video(13);
+  Rng rng{13};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(300.0), rng);
+  // The 15 s buffer cannot cover a 20 s outage.
+  EXPECT_GT(outcome.figures.stall_time_s, 1.0);
+}
+
+TEST(UserModel, WatchIntentHeavyTailed) {
+  const UserModel model{99};
+  Rng rng{14};
+  RunningStats intents;
+  int zaps = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    const auto user = model.sample_stream_behavior(rng);
+    intents.add(user.watch_intent_s);
+    if (user.watch_intent_s < 4.0) {
+      zaps++;
+    }
+  }
+  // Median is small (zapping majority), mean dominated by the tail.
+  EXPECT_GT(static_cast<double>(zaps) / n, 0.30);
+  EXPECT_GT(intents.mean(), 200.0);
+  EXPECT_GT(intents.max(), 3600.0);
+}
+
+TEST(UserModel, SessionsHaveMultipleStreams) {
+  const UserModel model{99};
+  Rng rng{15};
+  RunningStats streams;
+  for (int i = 0; i < 5000; i++) {
+    streams.add(model.sample_session(rng).num_streams);
+  }
+  // Figure A1: ~4.7 streams per session on average.
+  EXPECT_GT(streams.mean(), 2.0);
+  EXPECT_LT(streams.mean(), 8.0);
+}
+
+TEST(UserModel, BounceFractionSmall) {
+  const UserModel model{99};
+  Rng rng{16};
+  int bounces = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; i++) {
+    bounces += model.sample_session(rng).incompatible_or_bounce ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(bounces) / n, 0.02);
+  EXPECT_LT(static_cast<double>(bounces) / n, 0.20);
+}
+
+TEST(Preamble, WarmsTcpStats) {
+  const auto path = constant_path(10.0);
+  auto sender = make_sender(path);
+  EXPECT_DOUBLE_EQ(sender.info().delivery_rate_bps, 0.0);
+  sim::send_preamble(sender);
+  // After the preamble the connection has a meaningful delivery-rate
+  // estimate — the signal Fugu exploits on cold start (Figure 9).
+  EXPECT_GT(sender.info().delivery_rate_bps, 0.5 * kMbps);
+}
+
+}  // namespace
+}  // namespace puffer::sim
