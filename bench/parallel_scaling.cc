@@ -1,0 +1,83 @@
+// Wall-clock scaling of the trial engine across worker threads, and a
+// bit-identity audit against the serial path. On an N-core machine the
+// session loop is embarrassingly parallel, so the trial workload behind
+// tests/test_exp.cc and the figure reproductions should speed up
+// near-linearly until workers exceed cores.
+//
+// Usage: parallel_scaling [sessions_per_scheme]   (default 64)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/parallel_trial.hh"
+#include "exp/registry.hh"
+#include "exp/trial.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace puffer;
+
+double run_once(const exp::TrialConfig& config, exp::TrialResult* out) {
+  const exp::SchemeArtifacts none;
+  const auto start = std::chrono::steady_clock::now();
+  exp::TrialResult trial = exp::run_trial(config, none);
+  const auto stop = std::chrono::steady_clock::now();
+  if (out != nullptr) {
+    *out = std::move(trial);
+  }
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+bool identical(const exp::TrialResult& a, const exp::TrialResult& b) {
+  if (a.schemes.size() != b.schemes.size()) {
+    return false;
+  }
+  for (size_t s = 0; s < a.schemes.size(); s++) {
+    const auto& x = a.schemes[s];
+    const auto& y = b.schemes[s];
+    if (x.consort.streams != y.consort.streams ||
+        x.considered.size() != y.considered.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < x.considered.size(); i++) {
+      if (x.considered[i].watch_time_s != y.considered[i].watch_time_s ||
+          x.considered[i].ssim_mean_db != y.considered[i].ssim_mean_db) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::TrialConfig config;
+  config.schemes = {"BBA", "MPC-HM"};
+  config.sessions_per_scheme = argc > 1 ? std::atoi(argv[1]) : 64;
+  config.seed = 7;
+
+  std::printf("trial workload: %zu schemes x %d sessions, %d hardware threads\n\n",
+              config.schemes.size(), config.sessions_per_scheme,
+              ThreadPool::hardware_threads());
+
+  config.num_threads = 1;
+  exp::TrialResult serial;
+  const double serial_s = run_once(config, &serial);
+
+  Table table{{"threads", "wall (s)", "speedup", "identical to serial"}};
+  table.add_row({"1", format_fixed(serial_s, 2), "1.00x", "-"});
+  for (const int threads : {2, 4, 8}) {
+    config.num_threads = threads;
+    exp::TrialResult parallel;
+    const double t = run_once(config, &parallel);
+    table.add_row({std::to_string(threads), format_fixed(t, 2),
+                   format_fixed(serial_s / t, 2) + "x",
+                   identical(serial, parallel) ? "yes" : "NO (BUG)"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

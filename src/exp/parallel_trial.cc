@@ -1,0 +1,147 @@
+#include "exp/parallel_trial.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/require.hh"
+#include "util/thread_pool.hh"
+
+namespace puffer::exp {
+
+namespace {
+
+/// Sessions per scheduling chunk: small enough that heavy-tailed session
+/// costs balance across workers (several chunks per worker), large enough
+/// that chunk bookkeeping is negligible next to ~100 ms of simulation per
+/// session.
+int64_t chunk_size_for(const int64_t total_sessions, const int num_threads) {
+  const int64_t target_chunks = 8 * static_cast<int64_t>(num_threads);
+  return std::clamp<int64_t>(total_sessions / target_chunks, 1, 64);
+}
+
+// Tripwire for the field-by-field merge below: if ConsortCounts grows a
+// field, this forces whoever adds it to extend append_partial (a missed
+// field would silently zero it on parallel runs only, breaking the
+// bit-identity guarantee). SchemeResult's container members have
+// platform-dependent sizes, so keep its member list in sync by hand:
+// scheme, considered, session_durations_s, consort, logs.
+static_assert(sizeof(ConsortCounts) == 7 * sizeof(int64_t),
+              "ConsortCounts changed: update append_partial and "
+              "tests/test_parallel_trial.cc accordingly");
+
+void append_partial(SchemeResult& into, SchemeResult& from) {
+  into.considered.insert(into.considered.end(),
+                         std::make_move_iterator(from.considered.begin()),
+                         std::make_move_iterator(from.considered.end()));
+  into.session_durations_s.insert(into.session_durations_s.end(),
+                                  from.session_durations_s.begin(),
+                                  from.session_durations_s.end());
+  into.logs.insert(into.logs.end(), std::make_move_iterator(from.logs.begin()),
+                   std::make_move_iterator(from.logs.end()));
+  into.consort.sessions += from.consort.sessions;
+  into.consort.streams += from.consort.streams;
+  into.consort.never_began += from.consort.never_began;
+  into.consort.under_min_watch += from.consort.under_min_watch;
+  into.consort.decoder_failure += from.consort.decoder_failure;
+  into.consort.truncated += from.consort.truncated;
+  into.consort.considered += from.consort.considered;
+}
+
+}  // namespace
+
+ParallelTrialRunner::ParallelTrialRunner(const int num_threads)
+    : num_threads_(resolve_num_threads(num_threads)) {}
+
+int ParallelTrialRunner::resolve_num_threads(const int requested) {
+  return requested <= 0 ? ThreadPool::hardware_threads() : requested;
+}
+
+TrialResult ParallelTrialRunner::run(const TrialConfig& config,
+                                     const SchemeArtifacts& artifacts) const {
+  return run(config, [&artifacts](const std::string& name) {
+    return make_scheme(name, artifacts);
+  });
+}
+
+TrialResult ParallelTrialRunner::run(const TrialConfig& config,
+                                     const SchemeFactory& factory) const {
+  require(!config.schemes.empty(),
+          "ParallelTrialRunner: need at least one scheme");
+
+  const int64_t total = detail::num_session_plans(config);
+  const int workers = static_cast<int>(std::clamp<int64_t>(
+      num_threads_, 1, std::max<int64_t>(total, 1)));
+
+  // Per-worker algorithm instances: schemes are stateful within a session,
+  // so concurrent workers must never share one. Constructed here, serially,
+  // so custom factories need no locking.
+  std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>> worker_algos;
+  worker_algos.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; w++) {
+    worker_algos.push_back(detail::make_algorithms(config, factory));
+  }
+
+  const sim::UserModel users{config.seed};
+  const Rng master{config.seed};
+
+  const int64_t chunk_size = chunk_size_for(total, workers);
+  const int64_t num_chunks = (total + chunk_size - 1) / chunk_size;
+
+  // One partial result set per chunk, merged in chunk order below so the
+  // output ordering matches the serial session-index order exactly.
+  std::vector<std::vector<SchemeResult>> partials(
+      static_cast<size_t>(num_chunks));
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    ThreadPool pool{workers};
+    for (int w = 0; w < workers; w++) {
+      pool.submit([&, w] {
+        try {
+          for (;;) {
+            const int64_t c = next_chunk.fetch_add(1);
+            if (c >= num_chunks || failed.load()) {
+              return;
+            }
+            const int64_t begin = c * chunk_size;
+            const int64_t end = std::min(total, begin + chunk_size);
+            auto& partial = partials[static_cast<size_t>(c)];
+            partial = detail::empty_scheme_results(config);
+            detail::run_session_range(config, master, users,
+                                      worker_algos[static_cast<size_t>(w)],
+                                      begin, end, partial);
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+          failed.store(true);
+        }
+      });
+    }
+    pool.wait();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  TrialResult trial;
+  trial.schemes = detail::empty_scheme_results(config);
+  for (auto& partial : partials) {
+    for (size_t a = 0; a < trial.schemes.size(); a++) {
+      append_partial(trial.schemes[a], partial[a]);
+    }
+  }
+  return trial;
+}
+
+}  // namespace puffer::exp

@@ -1,0 +1,44 @@
+#ifndef PUFFER_EXP_PARALLEL_TRIAL_HH
+#define PUFFER_EXP_PARALLEL_TRIAL_HH
+
+#include "exp/trial.hh"
+
+namespace puffer::exp {
+
+/// Runs the trial session loop on a worker pool. The loop is embarrassingly
+/// parallel — every session plan derives from master.split(session_index)
+/// and every scheme fully resets per session — so sessions are sharded into
+/// small contiguous chunks, each chunk accumulates into its own per-scheme
+/// partials (simulated by whichever worker grabs it, on that worker's own
+/// algorithm instances), and the partials are merged in ascending chunk
+/// order. The merged TrialResult is therefore bit-identical to the serial
+/// run_trial for any thread count.
+class ParallelTrialRunner {
+ public:
+  /// `num_threads` <= 0 means "use all hardware threads".
+  explicit ParallelTrialRunner(int num_threads = 0);
+
+  /// Run the trial with the standard scheme registry.
+  [[nodiscard]] TrialResult run(const TrialConfig& config,
+                                const SchemeArtifacts& artifacts) const;
+
+  /// Run the trial with a custom scheme factory. The factory itself is only
+  /// invoked from the calling thread (once per worker per scheme), so it
+  /// needs no internal synchronization; the algorithms it returns are each
+  /// driven by a single worker.
+  [[nodiscard]] TrialResult run(const TrialConfig& config,
+                                const SchemeFactory& factory) const;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// Maps a TrialConfig::num_threads value to an actual worker count:
+  /// 0 (or negative) selects std::thread::hardware_concurrency.
+  [[nodiscard]] static int resolve_num_threads(int requested);
+
+ private:
+  int num_threads_;
+};
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_PARALLEL_TRIAL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "exp/parallel_trial.hh"
 #include "media/channel.hh"
 #include "net/bbr.hh"
 #include "net/trace_models.hh"
@@ -136,9 +137,70 @@ const SchemeResult& TrialResult::result_for(const std::string& name) const {
       return scheme;
     }
   }
-  require(false, "TrialResult: no scheme named '" + name + "'");
-  return schemes.front();  // unreachable
+  throw RequirementError("TrialResult: no scheme named '" + name + "'");
 }
+
+namespace detail {
+
+int64_t num_session_plans(const TrialConfig& config) {
+  // Clamped so a negative sessions_per_scheme yields an empty trial on the
+  // serial and parallel paths alike (unclamped, the parallel runner would
+  // compute a negative chunk count).
+  return std::max<int64_t>(0, config.sessions_per_scheme) *
+         (config.paired_paths ? 1
+                              : static_cast<int64_t>(config.schemes.size()));
+}
+
+std::vector<SchemeResult> empty_scheme_results(const TrialConfig& config) {
+  std::vector<SchemeResult> results;
+  results.reserve(config.schemes.size());
+  for (const auto& name : config.schemes) {
+    results.push_back(SchemeResult{});
+    results.back().scheme = name;
+  }
+  return results;
+}
+
+std::vector<std::unique_ptr<abr::AbrAlgorithm>> make_algorithms(
+    const TrialConfig& config, const SchemeFactory& factory) {
+  std::vector<std::unique_ptr<abr::AbrAlgorithm>> algorithms;
+  algorithms.reserve(config.schemes.size());
+  for (const auto& name : config.schemes) {
+    algorithms.push_back(factory(name));
+    require(algorithms.back() != nullptr,
+            "run_trial: factory returned null for '" + name + "'");
+  }
+  return algorithms;
+}
+
+void run_session_range(
+    const TrialConfig& config, const Rng& master, const sim::UserModel& users,
+    const std::span<const std::unique_ptr<abr::AbrAlgorithm>> algorithms,
+    const int64_t begin, const int64_t end,
+    std::vector<SchemeResult>& results) {
+  const auto num_schemes = config.schemes.size();
+  require(algorithms.size() == num_schemes && results.size() == num_schemes,
+          "run_session_range: algorithms/results must match config.schemes");
+
+  for (int64_t s = begin; s < end; s++) {
+    Rng session_rng = master.split(static_cast<uint64_t>(s));
+    SessionPlan plan = make_plan(session_rng, users, config.paths);
+
+    if (config.paired_paths) {
+      // Emulation-style: every scheme experiences the identical session.
+      for (size_t a = 0; a < num_schemes; a++) {
+        run_session(plan, *algorithms[a], results[a], config);
+      }
+    } else {
+      // RCT: blinded random assignment of the session to one scheme.
+      const auto a = static_cast<size_t>(session_rng.uniform_int(
+          0, static_cast<int64_t>(num_schemes) - 1));
+      run_session(plan, *algorithms[a], results[a], config);
+    }
+  }
+}
+
+}  // namespace detail
 
 TrialResult run_trial(const TrialConfig& config,
                       const SchemeArtifacts& artifacts) {
@@ -149,42 +211,23 @@ TrialResult run_trial(const TrialConfig& config,
 
 TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory) {
   require(!config.schemes.empty(), "run_trial: need at least one scheme");
-  const auto num_schemes = config.schemes.size();
 
-  TrialResult trial;
-  std::vector<std::unique_ptr<abr::AbrAlgorithm>> algorithms;
-  for (const auto& name : config.schemes) {
-    trial.schemes.push_back(SchemeResult{});
-    trial.schemes.back().scheme = name;
-    algorithms.push_back(factory(name));
-    require(algorithms.back() != nullptr,
-            "run_trial: factory returned null for '" + name + "'");
+  const int num_threads =
+      ParallelTrialRunner::resolve_num_threads(config.num_threads);
+  if (num_threads > 1) {
+    return ParallelTrialRunner{num_threads}.run(config, factory);
   }
+
+  const std::vector<std::unique_ptr<abr::AbrAlgorithm>> algorithms =
+      detail::make_algorithms(config, factory);
 
   const sim::UserModel users{config.seed};
-  Rng master{config.seed};
+  const Rng master{config.seed};
 
-  const int64_t num_session_plans =
-      static_cast<int64_t>(config.sessions_per_scheme) *
-      (config.paired_paths ? 1 : static_cast<int64_t>(num_schemes));
-
-  for (int64_t s = 0; s < num_session_plans; s++) {
-    Rng session_rng = master.split(static_cast<uint64_t>(s));
-    SessionPlan plan =
-        make_plan(session_rng, users, config.paths);
-
-    if (config.paired_paths) {
-      // Emulation-style: every scheme experiences the identical session.
-      for (size_t a = 0; a < num_schemes; a++) {
-        run_session(plan, *algorithms[a], trial.schemes[a], config);
-      }
-    } else {
-      // RCT: blinded random assignment of the session to one scheme.
-      const auto a = static_cast<size_t>(session_rng.uniform_int(
-          0, static_cast<int64_t>(num_schemes) - 1));
-      run_session(plan, *algorithms[a], trial.schemes[a], config);
-    }
-  }
+  TrialResult trial;
+  trial.schemes = detail::empty_scheme_results(config);
+  detail::run_session_range(config, master, users, algorithms, 0,
+                            detail::num_session_plans(config), trial.schemes);
   return trial;
 }
 

@@ -1,7 +1,9 @@
 #ifndef PUFFER_EXP_TRIAL_HH
 #define PUFFER_EXP_TRIAL_HH
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "fugu/dataset.hh"
 #include "sim/session.hh"
 #include "stats/summary.hh"
+#include "util/rng.hh"
 
 namespace puffer::exp {
 
@@ -31,6 +34,13 @@ struct TrialConfig {
   int day = 0;  ///< day tag for collected logs
   sim::StreamRunConfig stream;
   double min_watch_time_s = 4.0;  ///< exclusion threshold (Figure A1)
+  /// Worker threads for the session loop. 0 means "use all hardware
+  /// threads"; 1 forces the serial path. Any value yields bit-identical
+  /// TrialResult contents: sessions are independent given their plan
+  /// (each derives from master.split(session_index) and every scheme fully
+  /// resets per session), and partial results are merged in session-index
+  /// order.
+  int num_threads = 0;
 };
 
 /// Figure A1-style accounting.
@@ -74,6 +84,36 @@ TrialResult run_trial(const TrialConfig& config,
 using SchemeFactory =
     std::function<std::unique_ptr<abr::AbrAlgorithm>(const std::string&)>;
 TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory);
+
+namespace detail {
+
+/// Internal plumbing shared between the serial path and ParallelTrialRunner.
+
+/// Number of session plans the trial draws (paired mode replays each plan
+/// for every scheme; RCT mode assigns each plan to exactly one scheme).
+[[nodiscard]] int64_t num_session_plans(const TrialConfig& config);
+
+/// Fresh per-scheme accumulators in config.schemes order.
+[[nodiscard]] std::vector<SchemeResult> empty_scheme_results(
+    const TrialConfig& config);
+
+/// One algorithm instance per scheme, in config.schemes order; throws if the
+/// factory returns null. Both the serial path and each parallel worker build
+/// their scheme set through this.
+[[nodiscard]] std::vector<std::unique_ptr<abr::AbrAlgorithm>> make_algorithms(
+    const TrialConfig& config, const SchemeFactory& factory);
+
+/// Run session plans [begin, end), appending into `results` (one entry per
+/// scheme, config.schemes order). Pure function of (config, master, users,
+/// begin, end) provided every algorithm honours reset_session(): the serial
+/// path is one call over [0, N) and the parallel runner stitches together
+/// consecutive ranges.
+void run_session_range(
+    const TrialConfig& config, const Rng& master, const sim::UserModel& users,
+    std::span<const std::unique_ptr<abr::AbrAlgorithm>> algorithms,
+    int64_t begin, int64_t end, std::vector<SchemeResult>& results);
+
+}  // namespace detail
 
 }  // namespace puffer::exp
 

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace puffer {
+
+ThreadPool::ThreadPool(const int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  try {
+    for (int i = 0; i < n; i++) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A spawn failed (thread-resource exhaustion): shut down the workers
+    // already running, else their joinable std::thread destructors would
+    // terminate the process instead of letting the exception propagate.
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(job));
+    unfinished_++;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int ThreadPool::hardware_threads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      unfinished_--;
+      if (unfinished_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace puffer

@@ -1,0 +1,62 @@
+#ifndef PUFFER_UTIL_THREAD_POOL_HH
+#define PUFFER_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace puffer {
+
+/// A small fixed-size worker pool. Jobs are run in FIFO submission order by
+/// whichever worker frees up first; wait() blocks until every submitted job
+/// has finished. Used by the experiment layer to shard embarrassingly
+/// parallel session loops across cores — determinism is the caller's
+/// responsibility (jobs must write to disjoint, pre-indexed slots rather
+/// than to shared accumulators).
+///
+/// Jobs must not throw: catch inside the job and stash an exception_ptr if
+/// the error needs to outlive the worker (see ParallelTrialRunner).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; pending jobs are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job.
+  void submit(std::function<void()> job);
+
+  /// Block until every job submitted so far has completed.
+  void wait();
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits it to report 0 on restricted platforms).
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t unfinished_ = 0;  ///< queued + currently running jobs
+  bool shutting_down_ = false;
+};
+
+}  // namespace puffer
+
+#endif  // PUFFER_UTIL_THREAD_POOL_HH

@@ -63,14 +63,26 @@ TEST(Registry, FuguVariantsBuildFromTtp) {
 TrialConfig small_trial_config() {
   TrialConfig config;
   config.schemes = {"BBA", "MPC-HM"};
-  config.sessions_per_scheme = 40;
+  config.sessions_per_scheme = 24;
   config.seed = 7;
+  // Route through the parallel runner on every machine (run_trial shards
+  // across 4 workers); results are bit-identical to serial regardless.
+  config.num_threads = 4;
   return config;
 }
 
+/// The small trial is pure function of its config, so tests that only read
+/// it share one run instead of each re-simulating 48 sessions.
+const TrialResult& shared_small_trial() {
+  static const TrialResult trial = [] {
+    const SchemeArtifacts none;
+    return run_trial(small_trial_config(), none);
+  }();
+  return trial;
+}
+
 TEST(Trial, ConsortAccountingIsConsistent) {
-  const SchemeArtifacts none;
-  const TrialResult trial = run_trial(small_trial_config(), none);
+  const TrialResult& trial = shared_small_trial();
   ASSERT_EQ(trial.schemes.size(), 2u);
   int64_t total_sessions = 0;
   for (const auto& scheme : trial.schemes) {
@@ -85,12 +97,11 @@ TEST(Trial, ConsortAccountingIsConsistent) {
     EXPECT_LE(c.truncated, c.considered);
     EXPECT_GE(c.streams, c.sessions);  // sessions contain >= 1 stream
   }
-  EXPECT_EQ(total_sessions, 80);
+  EXPECT_EQ(total_sessions, 48);
 }
 
 TEST(Trial, ExclusionBucketsArePopulated) {
-  const SchemeArtifacts none;
-  const TrialResult trial = run_trial(small_trial_config(), none);
+  const TrialResult& trial = shared_small_trial();
   int64_t never = 0, under = 0, considered = 0;
   for (const auto& scheme : trial.schemes) {
     never += scheme.consort.never_began;
@@ -104,9 +115,14 @@ TEST(Trial, ExclusionBucketsArePopulated) {
 }
 
 TEST(Trial, DeterministicForSeed) {
+  // The shared trial ran through the parallel runner (4 workers); this
+  // fresh run forces the serial path. Equality checks both determinism
+  // across runs and serial/parallel equivalence.
   const SchemeArtifacts none;
-  const TrialResult a = run_trial(small_trial_config(), none);
-  const TrialResult b = run_trial(small_trial_config(), none);
+  TrialConfig serial_config = small_trial_config();
+  serial_config.num_threads = 1;
+  const TrialResult a = run_trial(serial_config, none);
+  const TrialResult& b = shared_small_trial();
   ASSERT_EQ(a.schemes.size(), b.schemes.size());
   for (size_t s = 0; s < a.schemes.size(); s++) {
     EXPECT_EQ(a.schemes[s].consort.considered,
@@ -122,11 +138,11 @@ TEST(Trial, DeterministicForSeed) {
 TEST(Trial, PairedModeGivesEverySchemeEverySession) {
   TrialConfig config = small_trial_config();
   config.paired_paths = true;
-  config.sessions_per_scheme = 25;
+  config.sessions_per_scheme = 12;
   const SchemeArtifacts none;
   const TrialResult trial = run_trial(config, none);
-  EXPECT_EQ(trial.schemes[0].consort.sessions, 25);
-  EXPECT_EQ(trial.schemes[1].consort.sessions, 25);
+  EXPECT_EQ(trial.schemes[0].consort.sessions, 12);
+  EXPECT_EQ(trial.schemes[1].consort.sessions, 12);
   // Identical session plans: stream counts match exactly across schemes.
   EXPECT_EQ(trial.schemes[0].consort.streams, trial.schemes[1].consort.streams);
 }
@@ -148,26 +164,27 @@ TEST(Trial, CollectLogsYieldsChunkTelemetry) {
       }
     }
   }
-  EXPECT_GT(chunks, 500u);
+  EXPECT_GT(chunks, 300u);
 }
 
 TEST(Trial, SlowPathSubsetIsSlow) {
-  const SchemeArtifacts none;
-  TrialConfig config = small_trial_config();
-  config.sessions_per_scheme = 80;
-  const TrialResult trial = run_trial(config, none);
+  const TrialResult& trial = shared_small_trial();
+  size_t slow_count = 0;
   for (const auto& scheme : trial.schemes) {
     for (const auto& figures : scheme.slow_paths(6.0)) {
       EXPECT_LT(figures.mean_delivery_rate_mbps, 6.0);
+      slow_count++;
     }
   }
+  // ~15-25% of sampled paths average under 6 Mbit/s, so the subset must be
+  // non-empty (the loop above would otherwise be vacuous).
+  EXPECT_GT(slow_count, 0u);
 }
 
 TEST(Trial, ResultForLookup) {
-  const SchemeArtifacts none;
-  const TrialResult trial = run_trial(small_trial_config(), none);
+  const TrialResult& trial = shared_small_trial();
   EXPECT_EQ(trial.result_for("BBA").scheme, "BBA");
-  EXPECT_THROW(trial.result_for("nope"), RequirementError);
+  EXPECT_THROW(static_cast<void>(trial.result_for("nope")), RequirementError);
 }
 
 TEST(Insitu, TtpSaveLoadRoundTrip) {

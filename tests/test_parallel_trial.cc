@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "exp/parallel_trial.hh"
+#include "exp/registry.hh"
+#include "exp/trial.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+namespace {
+
+/// Bitwise double equality: the parallel runner promises *bit-identical*
+/// results, stronger than operator== (which, e.g., treats -0.0 == 0.0).
+void expect_same_bits(const double a, const double b) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b));
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (size_t s = 0; s < a.schemes.size(); s++) {
+    const SchemeResult& x = a.schemes[s];
+    const SchemeResult& y = b.schemes[s];
+    EXPECT_EQ(x.scheme, y.scheme);
+
+    EXPECT_EQ(x.consort.sessions, y.consort.sessions);
+    EXPECT_EQ(x.consort.streams, y.consort.streams);
+    EXPECT_EQ(x.consort.never_began, y.consort.never_began);
+    EXPECT_EQ(x.consort.under_min_watch, y.consort.under_min_watch);
+    EXPECT_EQ(x.consort.decoder_failure, y.consort.decoder_failure);
+    EXPECT_EQ(x.consort.truncated, y.consort.truncated);
+    EXPECT_EQ(x.consort.considered, y.consort.considered);
+
+    ASSERT_EQ(x.considered.size(), y.considered.size());
+    for (size_t i = 0; i < x.considered.size(); i++) {
+      expect_same_bits(x.considered[i].watch_time_s,
+                       y.considered[i].watch_time_s);
+      expect_same_bits(x.considered[i].stall_time_s,
+                       y.considered[i].stall_time_s);
+      expect_same_bits(x.considered[i].startup_delay_s,
+                       y.considered[i].startup_delay_s);
+      expect_same_bits(x.considered[i].ssim_mean_db,
+                       y.considered[i].ssim_mean_db);
+      expect_same_bits(x.considered[i].ssim_variation_db,
+                       y.considered[i].ssim_variation_db);
+      expect_same_bits(x.considered[i].first_chunk_ssim_db,
+                       y.considered[i].first_chunk_ssim_db);
+      expect_same_bits(x.considered[i].mean_bitrate_mbps,
+                       y.considered[i].mean_bitrate_mbps);
+      expect_same_bits(x.considered[i].mean_delivery_rate_mbps,
+                       y.considered[i].mean_delivery_rate_mbps);
+    }
+
+    ASSERT_EQ(x.session_durations_s.size(), y.session_durations_s.size());
+    for (size_t i = 0; i < x.session_durations_s.size(); i++) {
+      expect_same_bits(x.session_durations_s[i], y.session_durations_s[i]);
+    }
+
+    ASSERT_EQ(x.logs.size(), y.logs.size());
+    for (size_t i = 0; i < x.logs.size(); i++) {
+      EXPECT_EQ(x.logs[i].day, y.logs[i].day);
+      ASSERT_EQ(x.logs[i].chunks.size(), y.logs[i].chunks.size());
+      for (size_t c = 0; c < x.logs[i].chunks.size(); c++) {
+        const fugu::ChunkLog& p = x.logs[i].chunks[c];
+        const fugu::ChunkLog& q = y.logs[i].chunks[c];
+        expect_same_bits(p.size_mb, q.size_mb);
+        expect_same_bits(p.tx_time_s, q.tx_time_s);
+        expect_same_bits(p.tcp_at_send.cwnd_pkts, q.tcp_at_send.cwnd_pkts);
+        expect_same_bits(p.tcp_at_send.in_flight_pkts,
+                         q.tcp_at_send.in_flight_pkts);
+        expect_same_bits(p.tcp_at_send.min_rtt_s, q.tcp_at_send.min_rtt_s);
+        expect_same_bits(p.tcp_at_send.srtt_s, q.tcp_at_send.srtt_s);
+        expect_same_bits(p.tcp_at_send.delivery_rate_bps,
+                         q.tcp_at_send.delivery_rate_bps);
+      }
+    }
+  }
+}
+
+/// collect_logs is on so the test also covers merge ordering of the
+/// telemetry stream logs, not just the Figure A1 accounting.
+TrialConfig rct_config() {
+  TrialConfig config;
+  config.schemes = {"BBA", "MPC-HM"};
+  config.sessions_per_scheme = 10;
+  config.seed = 20190119;
+  config.collect_logs = true;
+  config.day = 2;
+  config.num_threads = 1;  // serial unless overridden
+  return config;
+}
+
+TrialConfig paired_config() {
+  TrialConfig config = rct_config();
+  config.paired_paths = true;
+  config.sessions_per_scheme = 6;
+  return config;
+}
+
+TEST(ParallelTrial, MatchesSerialInRctMode) {
+  const SchemeArtifacts none;
+  const TrialResult serial = run_trial(rct_config(), none);
+  for (const int threads : {2, 4, 8}) {
+    const TrialResult parallel =
+        ParallelTrialRunner{threads}.run(rct_config(), none);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelTrial, MatchesSerialInPairedMode) {
+  const SchemeArtifacts none;
+  const TrialResult serial = run_trial(paired_config(), none);
+  for (const int threads : {2, 4, 8}) {
+    const TrialResult parallel =
+        ParallelTrialRunner{threads}.run(paired_config(), none);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelTrial, RunTrialDispatchesOnNumThreads) {
+  const SchemeArtifacts none;
+  TrialConfig config = rct_config();
+  const TrialResult serial = run_trial(config, none);
+  config.num_threads = 3;
+  const TrialResult parallel = run_trial(config, none);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelTrial, MoreThreadsThanSessionsIsFine) {
+  const SchemeArtifacts none;
+  TrialConfig config = paired_config();
+  config.sessions_per_scheme = 2;
+  const TrialResult serial = run_trial(config, none);
+  const TrialResult parallel = ParallelTrialRunner{16}.run(config, none);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelTrial, ResolveNumThreads) {
+  EXPECT_GE(ParallelTrialRunner::resolve_num_threads(0), 1);
+  EXPECT_EQ(ParallelTrialRunner::resolve_num_threads(5), 5);
+  EXPECT_GE(ParallelTrialRunner::resolve_num_threads(-3), 1);
+}
+
+TEST(ParallelTrial, FactoryErrorsPropagate) {
+  TrialConfig config = rct_config();
+  config.schemes = {"HAL9000"};  // unknown scheme: factory throws
+  const SchemeArtifacts none;
+  EXPECT_THROW(static_cast<void>(ParallelTrialRunner{4}.run(config, none)),
+               RequirementError);
+}
+
+}  // namespace
+}  // namespace puffer::exp

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "util/rng.hh"
 #include "util/running_stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace puffer {
 namespace {
@@ -239,6 +241,42 @@ TEST(Table, RejectsMismatchedRow) {
 TEST(Format, FixedAndPercent) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_percent(0.0012, 2), "0.12%");
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; i++) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
 }
 
 }  // namespace
