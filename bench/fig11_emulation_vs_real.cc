@@ -56,7 +56,7 @@ int main() {
   // Left panel: the emulator.
   exp::TrialConfig emulation;
   emulation.schemes = schemes;
-  emulation.paths = exp::PathFamily::kFccEmulation;
+  emulation.scenario.family = "fcc-emulation";
   emulation.paired_paths = true;  // emulators can replay exact conditions
   emulation.sessions_per_scheme = bench::sessions_per_scheme(120);
   emulation.seed = 1111;
@@ -66,7 +66,7 @@ int main() {
   // Middle panel: the deployment-like world (true randomized assignment).
   exp::TrialConfig real;
   real.schemes = schemes;
-  real.paths = exp::PathFamily::kPuffer;
+  real.scenario.family = "puffer";
   real.sessions_per_scheme = bench::sessions_per_scheme(200);
   real.seed = 2222;
   const exp::TrialResult real_trial =

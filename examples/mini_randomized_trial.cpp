@@ -4,27 +4,61 @@
 // reports each scheme's stall ratio (bootstrap 95% CI), duration-weighted
 // SSIM, SSIM variation, and mean time on site.
 //
+// Usage: mini_randomized_trial [scenario-family [trace-file]]
+//   scenario-family  any family registered in net::scenario_registry()
+//                    (default "puffer"); pass "list" to enumerate them
+//   trace-file       Mahimahi-style trace, for the "trace-replay" family
+//
 // The full-size experiment lives in bench/fig01_primary_table.
 
 #include <cstdio>
 
 #include "exp/models.hh"
 #include "exp/trial.hh"
+#include "net/scenario.hh"
 #include "stats/summary.hh"
 #include "util/table.hh"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace puffer;
-
-  std::printf("Preparing trained artifacts (cached after first run)...\n");
-  const exp::SchemeArtifacts artifacts = exp::default_artifacts();
 
   exp::TrialConfig config;
   config.sessions_per_scheme = 120;  // miniature; the bench uses many more
   config.seed = 20190119;
+  if (argc > 1) {
+    config.scenario.family = argv[1];
+  }
+  if (argc > 2) {
+    config.scenario.trace_path = argv[2];
+  }
 
-  std::printf("Running randomized trial: %zu schemes x %d sessions...\n\n",
-              config.schemes.size(), config.sessions_per_scheme);
+  const auto& registry = net::scenario_registry();
+  if (config.scenario.family == "list" ||
+      !registry.contains(config.scenario.family)) {
+    std::printf("Registered scenario families:\n");
+    for (const auto& name : registry.names()) {
+      std::printf("  %-18s %s\n", name.c_str(),
+                  registry.description(name).c_str());
+    }
+    return config.scenario.family == "list" ? 0 : 1;
+  }
+  try {
+    // Fail fast on a bad spec (e.g. trace-replay without a readable trace
+    // file) before the minutes-long artifact preparation below.
+    static_cast<void>(net::make_path_generator(config.scenario));
+  } catch (const std::exception& error) {
+    std::printf("Cannot build scenario '%s': %s\n",
+                config.scenario.family.c_str(), error.what());
+    return 1;
+  }
+
+  std::printf("Preparing trained artifacts (cached after first run)...\n");
+  const exp::SchemeArtifacts artifacts = exp::default_artifacts();
+
+  std::printf("Running randomized trial: %zu schemes x %d sessions over "
+              "'%s' paths...\n\n",
+              config.schemes.size(), config.sessions_per_scheme,
+              config.scenario.family.c_str());
   const exp::TrialResult trial = exp::run_trial(config, artifacts);
 
   Rng rng{1};

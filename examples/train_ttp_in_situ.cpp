@@ -26,7 +26,8 @@ int main() {
     // One day of deployment telemetry (sessions served by the live mix of
     // classical schemes; Figure 6's "Data Aggregation" box).
     fugu::TtpDataset daily = exp::collect_telemetry(
-        exp::PathFamily::kPuffer, /*num_sessions=*/60, day, /*seed=*/500);
+        net::ScenarioSpec{"puffer"}, /*num_sessions=*/60, day,
+        /*seed=*/500);
     size_t chunks = 0;
     for (auto& stream : daily) {
       chunks += stream.chunks.size();
@@ -40,7 +41,7 @@ int main() {
 
     // Held-out check on fresh telemetry.
     const fugu::TtpDataset holdout = exp::collect_telemetry(
-        exp::PathFamily::kPuffer, 12, day, /*seed=*/9000 + day);
+        net::ScenarioSpec{"puffer"}, 12, day, /*seed=*/9000 + day);
     const fugu::TtpEvaluation eval = fugu::evaluate_ttp(model, holdout);
 
     std::printf(

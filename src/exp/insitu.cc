@@ -122,14 +122,14 @@ std::optional<fugu::TtpDataset> try_load_dataset(const std::string& path) {
   return dataset;
 }
 
-fugu::TtpDataset collect_telemetry(const PathFamily family,
+fugu::TtpDataset collect_telemetry(const net::ScenarioSpec& scenario,
                                    const int num_sessions, const int day,
                                    const uint64_t seed) {
   TrialConfig config;
   config.schemes = {"BBA", "MPC-HM", "RobustMPC-HM"};
   config.sessions_per_scheme =
       std::max(1, num_sessions / static_cast<int>(config.schemes.size()));
-  config.paths = family;
+  config.scenario = scenario;
   config.seed = seed + static_cast<uint64_t>(day) * 7919;
   config.collect_logs = true;
   config.day = day;
@@ -146,16 +146,16 @@ fugu::TtpDataset collect_telemetry(const PathFamily family,
   return dataset;
 }
 
-fugu::TtpModel train_ttp_on_family(const PathFamily family,
-                                   const fugu::TtpConfig& config,
-                                   const fugu::TtpTrainConfig& train_config,
-                                   const int days, const int sessions_per_day,
-                                   const uint64_t seed,
-                                   fugu::TtpTrainReport* report) {
+fugu::TtpModel train_ttp_on_scenario(const net::ScenarioSpec& scenario,
+                                     const fugu::TtpConfig& config,
+                                     const fugu::TtpTrainConfig& train_config,
+                                     const int days, const int sessions_per_day,
+                                     const uint64_t seed,
+                                     fugu::TtpTrainReport* report) {
   fugu::TtpDataset dataset;
   for (int day = 0; day < days; day++) {
     fugu::TtpDataset daily =
-        collect_telemetry(family, sessions_per_day, day, seed);
+        collect_telemetry(scenario, sessions_per_day, day, seed);
     for (auto& stream : daily) {
       dataset.push_back(std::move(stream));
     }

@@ -20,21 +20,23 @@ void save_dataset(const fugu::TtpDataset& dataset, const std::string& path);
 std::optional<fugu::TtpDataset> try_load_dataset(const std::string& path);
 
 /// Collect one day of telemetry by streaming sessions with the deployed
-/// classical schemes (BBA, MPC-HM, RobustMPC-HM) over the given path family.
+/// classical schemes (BBA, MPC-HM, RobustMPC-HM) over the given scenario.
 /// This is the paper's "Data Aggregation" box (Figure 6): Fugu learns from
 /// whatever traffic the deployment carries.
-fugu::TtpDataset collect_telemetry(PathFamily family, int num_sessions,
-                                   int day, uint64_t seed);
+fugu::TtpDataset collect_telemetry(const net::ScenarioSpec& scenario,
+                                   int num_sessions, int day, uint64_t seed);
 
 /// Collect `days` days of telemetry and train a TTP on the window ending at
-/// the last day — "learning in situ" when family == kPuffer, and the
-/// "Emulation-trained Fugu" arm when family == kFccEmulation.
-fugu::TtpModel train_ttp_on_family(PathFamily family,
-                                   const fugu::TtpConfig& config,
-                                   const fugu::TtpTrainConfig& train_config,
-                                   int days, int sessions_per_day,
-                                   uint64_t seed,
-                                   fugu::TtpTrainReport* report = nullptr);
+/// the last day — "learning in situ" when the scenario is the deployment
+/// world ("puffer"), and the "Emulation-trained Fugu" arm when it is
+/// "fcc-emulation". Any registered scenario family works: this is how a TTP
+/// is specialized to a new workload.
+fugu::TtpModel train_ttp_on_scenario(const net::ScenarioSpec& scenario,
+                                     const fugu::TtpConfig& config,
+                                     const fugu::TtpTrainConfig& train_config,
+                                     int days, int sessions_per_day,
+                                     uint64_t seed,
+                                     fugu::TtpTrainReport* report = nullptr);
 
 }  // namespace puffer::exp
 

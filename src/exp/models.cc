@@ -35,8 +35,8 @@ std::shared_ptr<const fugu::TtpModel> get_insitu_ttp(const uint64_t seed) {
   fugu::TtpTrainConfig train_config;
   train_config.epochs = 8;
   train_config.max_examples_per_step = 60000;
-  fugu::TtpModel model = train_ttp_on_family(
-      PathFamily::kPuffer, config, train_config, kTtpDays,
+  fugu::TtpModel model = train_ttp_on_scenario(
+      net::ScenarioSpec{"puffer"}, config, train_config, kTtpDays,
       kTtpSessionsPerDay, seed);
   save_ttp(model, path);
   return std::make_shared<const fugu::TtpModel>(std::move(model));
@@ -52,9 +52,9 @@ std::shared_ptr<const fugu::TtpModel> get_emulation_ttp(const uint64_t seed) {
   fugu::TtpTrainConfig train_config;
   train_config.epochs = 8;
   train_config.max_examples_per_step = 60000;
-  fugu::TtpModel model = train_ttp_on_family(
-      PathFamily::kFccEmulation, config, train_config, kTtpDays,
-      kTtpSessionsPerDay, seed);
+  fugu::TtpModel model = train_ttp_on_scenario(
+      net::ScenarioSpec{"fcc-emulation"}, config, train_config,
+      kTtpDays, kTtpSessionsPerDay, seed);
   save_ttp(model, path);
   return std::make_shared<const fugu::TtpModel>(std::move(model));
 }
@@ -86,8 +86,8 @@ fugu::TtpDataset get_insitu_dataset(const uint64_t seed) {
   }
   fugu::TtpDataset dataset;
   for (int day = 0; day < 2; day++) {
-    fugu::TtpDataset daily =
-        collect_telemetry(PathFamily::kPuffer, 120, day, seed + 1000);
+    fugu::TtpDataset daily = collect_telemetry(
+        net::ScenarioSpec{"puffer"}, 120, day, seed + 1000);
     for (auto& stream : daily) {
       dataset.push_back(std::move(stream));
     }

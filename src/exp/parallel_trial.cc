@@ -86,6 +86,11 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
     worker_algos.push_back(detail::make_algorithms(config, factory));
   }
 
+  // One generator for the whole trial, shared read-only by every worker
+  // (PathGenerator implementations are stateless; randomness comes from the
+  // per-session Rng). Trace-backed scenarios thus load their file once.
+  const std::unique_ptr<net::PathGenerator> paths =
+      net::make_path_generator(config.scenario);
   const sim::UserModel users{config.seed};
   const Rng master{config.seed};
 
@@ -115,7 +120,7 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
             const int64_t end = std::min(total, begin + chunk_size);
             auto& partial = partials[static_cast<size_t>(c)];
             partial = detail::empty_scheme_results(config);
-            detail::run_session_range(config, master, users,
+            detail::run_session_range(config, *paths, master, users,
                                       worker_algos[static_cast<size_t>(w)],
                                       begin, end, partial);
           }

@@ -6,7 +6,7 @@
 #include "exp/parallel_trial.hh"
 #include "media/channel.hh"
 #include "net/bbr.hh"
-#include "net/trace_models.hh"
+#include "net/scenario.hh"
 #include "util/require.hh"
 
 namespace puffer::exp {
@@ -26,7 +26,7 @@ struct SessionPlan {
 };
 
 SessionPlan make_plan(Rng& rng, const sim::UserModel& users,
-                      const PathFamily family) {
+                      const net::PathGenerator& paths) {
   SessionPlan plan;
   plan.session = users.sample_session(rng);
   double total_intent_s = 0.0;
@@ -41,13 +41,7 @@ SessionPlan make_plan(Rng& rng, const sim::UserModel& users,
       std::min(1.25 * total_intent_s + 900.0, 18.0 * 3600.0);
 
   Rng path_rng = rng.split("path");
-  if (family == PathFamily::kPuffer) {
-    static const net::PufferPathModel model{};
-    plan.path = model.sample_path(path_rng, trace_duration_s);
-  } else {
-    static const net::FccTraceModel model{};
-    plan.path = model.sample_path(path_rng, trace_duration_s);
-  }
+  plan.path = paths.sample_path(path_rng, trace_duration_s);
   plan.run_seed = rng.engine()();
   return plan;
 }
@@ -174,7 +168,8 @@ std::vector<std::unique_ptr<abr::AbrAlgorithm>> make_algorithms(
 }
 
 void run_session_range(
-    const TrialConfig& config, const Rng& master, const sim::UserModel& users,
+    const TrialConfig& config, const net::PathGenerator& paths,
+    const Rng& master, const sim::UserModel& users,
     const std::span<const std::unique_ptr<abr::AbrAlgorithm>> algorithms,
     const int64_t begin, const int64_t end,
     std::vector<SchemeResult>& results) {
@@ -184,7 +179,7 @@ void run_session_range(
 
   for (int64_t s = begin; s < end; s++) {
     Rng session_rng = master.split(static_cast<uint64_t>(s));
-    SessionPlan plan = make_plan(session_rng, users, config.paths);
+    SessionPlan plan = make_plan(session_rng, users, paths);
 
     if (config.paired_paths) {
       // Emulation-style: every scheme experiences the identical session.
@@ -221,12 +216,14 @@ TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory) {
   const std::vector<std::unique_ptr<abr::AbrAlgorithm>> algorithms =
       detail::make_algorithms(config, factory);
 
+  const std::unique_ptr<net::PathGenerator> paths =
+      net::make_path_generator(config.scenario);
   const sim::UserModel users{config.seed};
   const Rng master{config.seed};
 
   TrialResult trial;
   trial.schemes = detail::empty_scheme_results(config);
-  detail::run_session_range(config, master, users, algorithms, 0,
+  detail::run_session_range(config, *paths, master, users, algorithms, 0,
                             detail::num_session_plans(config), trial.schemes);
   return trial;
 }

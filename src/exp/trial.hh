@@ -9,21 +9,22 @@
 
 #include "exp/registry.hh"
 #include "fugu/dataset.hh"
+#include "net/scenario.hh"
 #include "sim/session.hh"
 #include "stats/summary.hh"
 #include "util/rng.hh"
 
 namespace puffer::exp {
 
-/// Which world sessions stream over: the deployment-like heavy-tailed paths
-/// or the FCC-trace mahimahi-style emulation (Figure 11's contrast).
-enum class PathFamily { kPuffer, kFccEmulation };
-
 struct TrialConfig {
   std::vector<std::string> schemes = {"Fugu", "MPC-HM", "RobustMPC-HM",
                                       "Pensieve", "BBA"};
   int sessions_per_scheme = 400;
-  PathFamily paths = PathFamily::kPuffer;
+  /// Which world sessions stream over, resolved through the scenario
+  /// registry (net::scenario_registry()). The default is the deployment-like
+  /// heavy-tailed world; "fcc-emulation" gives Figure 11's mahimahi-style
+  /// contrast, "trace-replay" + trace_path replays a recorded trace.
+  net::ScenarioSpec scenario;
   uint64_t seed = 1;
   /// Paired mode: every scheme sees the same sequence of sessions (paths,
   /// users, videos). This is what emulators allow and real RCTs cannot do
@@ -104,12 +105,15 @@ namespace detail {
     const TrialConfig& config, const SchemeFactory& factory);
 
 /// Run session plans [begin, end), appending into `results` (one entry per
-/// scheme, config.schemes order). Pure function of (config, master, users,
-/// begin, end) provided every algorithm honours reset_session(): the serial
-/// path is one call over [0, N) and the parallel runner stitches together
-/// consecutive ranges.
+/// scheme, config.schemes order). Pure function of (config, paths, master,
+/// users, begin, end) provided every algorithm honours reset_session(): the
+/// serial path is one call over [0, N) and the parallel runner stitches
+/// together consecutive ranges. `paths` is the generator resolved from
+/// config.scenario — built once per trial and shared across workers
+/// (PathGenerator implementations are stateless).
 void run_session_range(
-    const TrialConfig& config, const Rng& master, const sim::UserModel& users,
+    const TrialConfig& config, const net::PathGenerator& paths,
+    const Rng& master, const sim::UserModel& users,
     std::span<const std::unique_ptr<abr::AbrAlgorithm>> algorithms,
     int64_t begin, int64_t end, std::vector<SchemeResult>& results);
 

@@ -73,13 +73,26 @@ stats::StreamFigures read_figures(std::istream& in) {
   return f;
 }
 
+/// For file-driven scenarios the cache must key on what the trace file
+/// *contains*, not just its path: regenerating a trace in place must miss.
+uint64_t scenario_fingerprint(const net::ScenarioSpec& scenario) {
+  uint64_t fingerprint = stable_hash(scenario.key());
+  if (!scenario.trace_path.empty()) {
+    std::ifstream in{scenario.trace_path, std::ios::binary};
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    fingerprint = mix64(fingerprint ^ stable_hash(contents.str()));
+  }
+  return fingerprint;
+}
+
 uint64_t config_fingerprint(const TrialConfig& config) {
   std::ostringstream key;
   for (const auto& scheme : config.schemes) {
     key << scheme << '|';
   }
   key << config.sessions_per_scheme << '|'
-      << static_cast<int>(config.paths) << '|' << config.seed << '|'
+      << scenario_fingerprint(config.scenario) << '|' << config.seed << '|'
       << config.paired_paths << '|' << config.min_watch_time_s << '|'
       << config.stream.max_buffer_s << '|' << config.stream.lookahead_chunks
       << '|' << config.stream.player_init_delay_s;

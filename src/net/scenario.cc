@@ -1,0 +1,161 @@
+#include "net/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/require.hh"
+
+namespace puffer::net {
+
+namespace {
+
+/// Adapts the concrete trace models (which all expose `sample_path`) to the
+/// PathGenerator interface without virtualizing the models themselves.
+template <typename Model>
+class ModelGenerator : public PathGenerator {
+ public:
+  explicit ModelGenerator(Model model) : model_(std::move(model)) {}
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng,
+                                        const double duration_s) const override {
+    return model_.sample_path(rng, duration_s);
+  }
+
+ private:
+  Model model_;
+};
+
+template <typename Model>
+ScenarioRegistry::Factory synthetic_family() {
+  return [](const ScenarioSpec&) -> std::unique_ptr<PathGenerator> {
+    return std::make_unique<ModelGenerator<Model>>(Model{});
+  };
+}
+
+ScenarioRegistry build_default_registry() {
+  ScenarioRegistry registry;
+  registry.register_family(
+      "puffer",
+      "heavy-tailed deployment-like paths: lognormal base rates, OU drift, "
+      "regime shifts, rare outages (the Puffer study's wild Internet)",
+      synthetic_family<PufferPathModel>());
+  registry.register_family(
+      "fcc-emulation",
+      "stationary FCC-broadband traces behind a 40 ms mahimahi shell, capped "
+      "at 12 Mbit/s (the Pensieve emulation world, Figure 11 left)",
+      synthetic_family<FccTraceModel>());
+  registry.register_family(
+      "markov-cs2p",
+      "CS2P-style discrete throughput states with sticky transitions "
+      "(Figure 2a's contrast; Puffer never observed this structure)",
+      synthetic_family<MarkovTraceModel>());
+  registry.register_family(
+      "cellular",
+      "Markov-modulated LTE channel: deep-fade/congested/nominal/excellent "
+      "states with fast lognormal fading and variable RTT",
+      synthetic_family<CellularPathModel>());
+  registry.register_family(
+      "diurnal",
+      "shared access link with a 24-hour capacity sinusoid: prime-time "
+      "capacity sags to ~30% of the off-peak rate",
+      synthetic_family<DiurnalPathModel>());
+  registry.register_family(
+      "wifi-oscillating",
+      "last-hop Wi-Fi oscillating between good and degraded rates on a "
+      "per-path duty cycle, with rare deep fades",
+      synthetic_family<WifiPathModel>());
+  registry.register_family(
+      "satellite",
+      "GEO satellite access: ~600 ms propagation RTT, moderate capacity, "
+      "long rain fades",
+      synthetic_family<SatellitePathModel>());
+  registry.register_family(
+      "trace-replay",
+      "replays the Mahimahi packet-delivery trace at spec.trace_path behind "
+      "a fixed 40 ms shell, looping the trace to session length",
+      [](const ScenarioSpec& spec) -> std::unique_ptr<PathGenerator> {
+        require(!spec.trace_path.empty(),
+                "trace-replay scenario requires spec.trace_path");
+        return std::make_unique<TraceReplayGenerator>(
+            TraceFile::load(spec.trace_path));
+      });
+  return registry;
+}
+
+}  // namespace
+
+void ScenarioRegistry::register_family(const std::string& name,
+                                       const std::string& description,
+                                       Factory factory) {
+  require(!name.empty(), "ScenarioRegistry: family name must be non-empty");
+  require(factory != nullptr, "ScenarioRegistry: null factory for " + name);
+  families_[name] = Entry{description, std::move(factory)};
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return families_.count(name) > 0;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, entry] : families_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iterates in sorted key order
+}
+
+const std::string& ScenarioRegistry::description(
+    const std::string& name) const {
+  const auto it = families_.find(name);
+  require(it != families_.end(),
+          "ScenarioRegistry: unknown family '" + name + "'");
+  return it->second.description;
+}
+
+std::unique_ptr<PathGenerator> ScenarioRegistry::make(
+    const ScenarioSpec& spec) const {
+  const auto it = families_.find(spec.family);
+  require(it != families_.end(),
+          "ScenarioRegistry: unknown family '" + spec.family + "'");
+  auto generator = it->second.factory(spec);
+  require(generator != nullptr,
+          "ScenarioRegistry: factory for '" + spec.family + "' returned null");
+  return generator;
+}
+
+ScenarioRegistry& scenario_registry() {
+  static ScenarioRegistry registry = build_default_registry();
+  return registry;
+}
+
+std::unique_ptr<PathGenerator> make_path_generator(const ScenarioSpec& spec) {
+  return scenario_registry().make(spec);
+}
+
+TraceReplayGenerator::TraceReplayGenerator(const TraceFile& file,
+                                           const double min_rtt_s,
+                                           const double bin_duration_s)
+    : binned_(file.to_trace(bin_duration_s)), min_rtt_s_(min_rtt_s) {
+  require(min_rtt_s > 0.0, "TraceReplayGenerator: RTT must be positive");
+}
+
+NetworkPath TraceReplayGenerator::sample_path(Rng& rng,
+                                              const double duration_s) const {
+  static_cast<void>(rng);  // replay is deterministic, mahimahi-style
+  // Loop the trace end-to-end until it covers the session, as mm-link does.
+  const auto& base = binned_.rates();
+  const auto repeats = static_cast<size_t>(std::max(
+      1.0, std::ceil(duration_s / binned_.duration())));
+  std::vector<double> rates;
+  rates.reserve(repeats * base.size());
+  for (size_t r = 0; r < repeats; r++) {
+    rates.insert(rates.end(), base.begin(), base.end());
+  }
+  return NetworkPath{ThroughputTrace{std::move(rates),
+                                     binned_.segment_duration()},
+                     min_rtt_s_};
+}
+
+}  // namespace puffer::net

@@ -1,0 +1,109 @@
+#ifndef PUFFER_NET_SCENARIO_HH
+#define PUFFER_NET_SCENARIO_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/trace_file.hh"
+#include "net/trace_models.hh"
+#include "util/rng.hh"
+
+namespace puffer::net {
+
+/// Names the network world a trial's sessions stream over. `family` resolves
+/// through the scenario registry; `trace_path` is consumed by file-driven
+/// families ("trace-replay" loads a Mahimahi-style trace from it) and ignored
+/// by the synthetic ones.
+struct ScenarioSpec {
+  ScenarioSpec() = default;
+  explicit ScenarioSpec(std::string family_name, std::string trace = {})
+      : family(std::move(family_name)), trace_path(std::move(trace)) {}
+
+  std::string family = "puffer";
+  std::string trace_path;
+
+  /// Stable textual identity, used in trial-cache fingerprints.
+  [[nodiscard]] std::string key() const { return family + ":" + trace_path; }
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// A path-family generator: samples a complete NetworkPath (capacity trace +
+/// RTT) for one session. Implementations must be stateless with respect to
+/// sampling — all randomness comes from the caller's Rng — so one generator
+/// can be shared by every worker of a parallel trial.
+class PathGenerator {
+ public:
+  virtual ~PathGenerator() = default;
+  [[nodiscard]] virtual NetworkPath sample_path(Rng& rng,
+                                                double duration_s) const = 0;
+};
+
+/// String-keyed open registry of path families, mirroring the scheme
+/// registry in exp/: a new workload is a registration, not a refactor.
+class ScenarioRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<PathGenerator>(const ScenarioSpec&)>;
+
+  /// Registers (or replaces) a family. `description` is a one-liner for CLI
+  /// listings and docs.
+  void register_family(const std::string& name, const std::string& description,
+                       Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered family names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] const std::string& description(const std::string& name) const;
+
+  /// Instantiate the generator for `spec`. Throws RequirementError for an
+  /// unknown family or a spec the family's factory rejects.
+  [[nodiscard]] std::unique_ptr<PathGenerator> make(
+      const ScenarioSpec& spec) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> families_;
+};
+
+/// The process-wide registry, pre-loaded with the built-in families:
+///   puffer           heavy-tailed deployment-like paths (the Puffer study)
+///   fcc-emulation    stationary FCC-broadband mahimahi-style traces
+///   markov-cs2p      CS2P-style discrete-state throughput (Figure 2a)
+///   cellular         Markov-modulated LTE channel with fast fading
+///   diurnal          time-of-day capacity sag on a shared access link
+///   wifi-oscillating duty-cycled Wi-Fi interference with deep fades
+///   satellite        ~600 ms GEO RTT with rain fades
+///   trace-replay     replays the Mahimahi trace file at spec.trace_path
+/// Registration of additional families is allowed (tests do this); the
+/// built-ins cannot be observed half-initialized.
+ScenarioRegistry& scenario_registry();
+
+/// Convenience: scenario_registry().make(spec).
+std::unique_ptr<PathGenerator> make_path_generator(const ScenarioSpec& spec);
+
+/// Replays one Mahimahi-style trace for every session, mahimahi-shell style:
+/// fixed RTT, trace looped end-to-end to cover any session duration.
+class TraceReplayGenerator : public PathGenerator {
+ public:
+  explicit TraceReplayGenerator(const TraceFile& file,
+                                double min_rtt_s = 0.040,
+                                double bin_duration_s = 0.5);
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng,
+                                        double duration_s) const override;
+
+ private:
+  ThroughputTrace binned_;
+  double min_rtt_s_;
+};
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_SCENARIO_HH

@@ -2,6 +2,7 @@
 #define PUFFER_NET_TRACE_MODELS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "net/trace.hh"
 #include "util/rng.hh"
@@ -103,6 +104,124 @@ class MarkovTraceModel {
 
  private:
   MarkovTraceConfig config_;
+};
+
+/// --- Markov-modulated cellular (LTE-like mobile access) ---
+///
+/// A hidden channel-quality chain (deep fade / congested / nominal /
+/// excellent) with sticky transitions; each state carries its own mean rate
+/// and substantial lognormal within-state noise (fast fading). RTT is higher
+/// and more variable than wired access.
+struct CellularPathConfig {
+  double segment_duration_s = 1.0;
+  /// State mean rates, worst to best. The hidden chain walks +-1 state at a
+  /// time (channel quality evolves gradually).
+  std::vector<double> state_rates_mbps = {0.3, 2.0, 8.0, 24.0};
+  double stay_probability = 0.90;
+  double within_state_sigma = 0.35;  ///< lognormal sigma around state mean
+  double median_rtt_s = 0.070;
+  double log_rtt_sigma = 0.30;
+};
+
+class CellularPathModel {
+ public:
+  explicit CellularPathModel(CellularPathConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const CellularPathConfig& config() const { return config_; }
+
+ private:
+  CellularPathConfig config_;
+};
+
+/// --- Diurnal time-of-day capacity (shared access link under peak load) ---
+///
+/// A lognormal per-path base rate modulated by a 24-hour sinusoid: capacity
+/// sags toward `trough_fraction` of the base at the evening peak hour. Each
+/// session starts at a uniformly-sampled time of day, so the family exposes
+/// schemes to both quiet-hour and prime-time conditions; within a session
+/// the drift is slow, as on real shared links.
+struct DiurnalPathConfig {
+  double segment_duration_s = 2.0;
+  double median_rate_mbps = 18.0;
+  double log10_rate_sigma = 0.35;
+  double trough_fraction = 0.30;  ///< capacity at peak congestion
+  double peak_hour = 21.0;        ///< local time of maximum congestion
+  double noise_sigma = 0.08;      ///< lognormal segment-to-segment noise
+  double min_rtt_s = 0.030;
+};
+
+class DiurnalPathModel {
+ public:
+  explicit DiurnalPathModel(DiurnalPathConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const DiurnalPathConfig& config() const { return config_; }
+
+ private:
+  DiurnalPathConfig config_;
+};
+
+/// --- Oscillating Wi-Fi (interference / multipath duty cycle) ---
+///
+/// Last-hop Wi-Fi alternating between a good and a degraded rate with a
+/// per-path oscillation period (microwave ovens, neighbouring networks,
+/// periodic scans), plus rare deep fades when the client moves out of range.
+struct WifiPathConfig {
+  double segment_duration_s = 0.5;
+  double good_rate_mbps = 45.0;
+  double degraded_fraction = 0.15;  ///< degraded rate as fraction of good
+  double min_period_s = 8.0;        ///< oscillation period sampled per path
+  double max_period_s = 40.0;
+  double duty_cycle = 0.65;         ///< fraction of each period spent good
+  double fade_rate_hz = 1.0 / 300.0;  ///< deep fades: avg one per 5 minutes
+  double fade_mean_duration_s = 2.0;
+  double fade_floor_mbps = 0.1;
+  double noise_sigma = 0.15;
+  double min_rtt_s = 0.020;
+};
+
+class WifiPathModel {
+ public:
+  explicit WifiPathModel(WifiPathConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const WifiPathConfig& config() const { return config_; }
+
+ private:
+  WifiPathConfig config_;
+};
+
+/// --- High-RTT lossy satellite (GEO access) ---
+///
+/// Geostationary-orbit access: ~600 ms propagation RTT, moderate capacity,
+/// and rain-fade events that attenuate the link heavily for tens of seconds.
+/// The long feedback loop (not raw capacity) is what stresses ABR here.
+struct SatellitePathConfig {
+  double segment_duration_s = 2.0;
+  double median_rate_mbps = 16.0;
+  double log10_rate_sigma = 0.20;
+  double min_rtt_s = 0.600;        ///< GEO propagation delay
+  double rtt_jitter_sigma = 0.05;  ///< lognormal spread of per-path RTT
+  double rain_fade_rate_hz = 1.0 / 400.0;
+  double rain_fade_mean_duration_s = 30.0;
+  double rain_fade_attenuation = 0.08;  ///< capacity multiplier during fade
+  double noise_sigma = 0.12;
+};
+
+class SatellitePathModel {
+ public:
+  explicit SatellitePathModel(SatellitePathConfig config = {});
+
+  [[nodiscard]] NetworkPath sample_path(Rng& rng, double duration_s) const;
+
+  [[nodiscard]] const SatellitePathConfig& config() const { return config_; }
+
+ private:
+  SatellitePathConfig config_;
 };
 
 }  // namespace puffer::net

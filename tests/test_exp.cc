@@ -235,8 +235,8 @@ TEST(Insitu, DatasetSaveLoadRoundTrip) {
 
 TEST(Insitu, CollectTelemetryProducesTrainableData) {
   const fugu::TtpDataset dataset =
-      collect_telemetry(PathFamily::kPuffer, /*num_sessions=*/24, /*day=*/0,
-                        /*seed=*/55);
+      collect_telemetry(net::ScenarioSpec{"puffer"},
+                        /*num_sessions=*/24, /*day=*/0, /*seed=*/55);
   size_t chunks = 0;
   for (const auto& stream : dataset) {
     chunks += stream.chunks.size();
@@ -253,14 +253,14 @@ TEST(Insitu, EndToEndTinyInsituTraining) {
   train_config.max_examples_per_step = 4000;
   fugu::TtpTrainReport report;
   const fugu::TtpModel model =
-      train_ttp_on_family(PathFamily::kPuffer, config, train_config,
-                          /*days=*/1, /*sessions_per_day=*/20, /*seed=*/66,
-                          &report);
+      train_ttp_on_scenario(net::ScenarioSpec{"puffer"}, config,
+                            train_config, /*days=*/1, /*sessions_per_day=*/20,
+                            /*seed=*/66, &report);
   EXPECT_GT(report.examples_per_step, 100u);
   // The trained model must beat the uniform baseline (ln 21 = 3.04) on its
   // own training distribution.
   const fugu::TtpDataset eval_data =
-      collect_telemetry(PathFamily::kPuffer, 8, 0, 67);
+      collect_telemetry(net::ScenarioSpec{"puffer"}, 8, 0, 67);
   const auto eval = evaluate_ttp(model, eval_data);
   EXPECT_LT(eval.cross_entropy, 2.8);
 }

@@ -69,6 +69,74 @@ TEST(Link, DropTailLossBeyondQueueCapacity) {
   EXPECT_NEAR(link.queue_bytes(), 1000.0 - result.delivered_bytes, 1e-9);
 }
 
+TEST(Link, ZeroCapacitySegmentHoldsQueue) {
+  // A dead middle segment: nothing drains, nothing is lost (queue permitting),
+  // and drain() is a no-op while capacity is zero.
+  ThroughputTrace trace{{1000.0, 0.0, 1000.0}, 1.0};
+  LinkSimulator link{trace, 1e6};
+  const auto during_outage = link.step(1.2, 0.1, 500.0);
+  EXPECT_DOUBLE_EQ(during_outage.delivered_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(during_outage.lost_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(link.queue_bytes(), 500.0);
+  link.drain(1.4, 0.5);  // still inside the dead segment
+  EXPECT_DOUBLE_EQ(link.queue_bytes(), 500.0);
+  // Once capacity returns, the backlog drains at line rate.
+  const auto after = link.step(2.0, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(after.delivered_bytes, 500.0);
+  EXPECT_DOUBLE_EQ(link.queue_bytes(), 0.0);
+}
+
+TEST(Link, OverflowAccountingConservesBytes) {
+  // Conservation under heavy loss: offered = delivered + queued + lost,
+  // with a queue small enough that drops actually happen.
+  ThroughputTrace trace{{800.0, 0.0, 1500.0, 50.0}, 1.0};
+  LinkSimulator link{trace, 600.0};
+  Rng rng{9};
+  double offered_total = 0.0, delivered_total = 0.0, lost_total = 0.0;
+  bool saw_loss = false;
+  double now = 0.0;
+  for (int i = 0; i < 2000; i++) {
+    const double offered = rng.uniform(0.0, 30.0);
+    const auto result = link.step(now, 0.002, offered);
+    offered_total += offered;
+    delivered_total += result.delivered_bytes;
+    lost_total += result.lost_bytes;
+    saw_loss = saw_loss || result.lost_bytes > 0.0;
+    // The queue never exceeds its capacity.
+    EXPECT_LE(link.queue_bytes(), link.queue_capacity() + 1e-9);
+    now += 0.002;
+  }
+  EXPECT_TRUE(saw_loss);
+  EXPECT_GT(lost_total, 0.0);
+  EXPECT_NEAR(offered_total,
+              delivered_total + lost_total + link.queue_bytes(), 1e-6);
+}
+
+TEST(Link, DrainAfterBurstIsRateLimited) {
+  // A burst fills the queue; drain() then removes exactly capacity * dt per
+  // call, never more, and clamps at empty.
+  ThroughputTrace trace{{1000.0}, 1.0};
+  LinkSimulator link{trace, 1e9};
+  link.step(0.0, 0.001, 4000.0);  // burst: ~4000 B backlog, ~1 B drained
+  const double backlog = link.queue_bytes();
+  EXPECT_NEAR(backlog, 3999.0, 1e-6);
+  link.drain(0.001, 1.5);
+  EXPECT_NEAR(link.queue_bytes(), backlog - 1500.0, 1e-6);
+  link.drain(1.501, 100.0);  // over-long drain clamps at zero
+  EXPECT_DOUBLE_EQ(link.queue_bytes(), 0.0);
+  link.drain(200.0, 1.0);  // draining an empty queue is a no-op
+  EXPECT_DOUBLE_EQ(link.queue_bytes(), 0.0);
+}
+
+TEST(Link, StepRejectsBadArguments) {
+  ThroughputTrace trace{{1000.0}, 1.0};
+  LinkSimulator link{trace, 1000.0};
+  EXPECT_THROW(link.step(0.0, 0.0, 10.0), RequirementError);
+  EXPECT_THROW(link.step(0.0, -1.0, 10.0), RequirementError);
+  EXPECT_THROW(link.step(0.0, 0.1, -5.0), RequirementError);
+  EXPECT_THROW(LinkSimulator(trace, 0.0), RequirementError);
+}
+
 TEST(Link, QueueDelayTracksBacklog) {
   ThroughputTrace trace{{1000.0}, 1.0};
   LinkSimulator link{trace, 1e9};
