@@ -1,35 +1,86 @@
-// Figure 9: cold start. Fugu bootstraps its first ABR decision from
-// congestion-control statistics (RTT, delivery rate from the connection
-// preamble), so it starts at higher quality for comparable startup delay;
-// the classical predictors have no samples yet and default conservatively.
+// Figure 9: cold start. Fugu launched with an untrained model and improved
+// over the first several days in deployment as the nightly in-situ loop
+// (collect telemetry -> retrain with warm start -> redeploy) accumulated
+// data. This bench is a thin client of exp::Campaign: one retraining Fugu
+// arm against a static BBA baseline, one day at a time, with the campaign
+// checkpoint making reruns resume instead of recompute.
+//
+//   PUFFER_CAMPAIGN_DAYS     days to simulate (default 5)
+//   PUFFER_BENCH_SESSIONS    telemetry sessions per day (default 96)
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hh"
+#include "exp/campaign.hh"
 #include "util/table.hh"
 
 int main() {
   using namespace puffer;
 
-  const exp::TrialResult trial = bench::primary_trial();
+  // Default 5 days; a non-numeric override falls back to the default, and
+  // an explicit 1 is raised to 2 (the shape check needs a before and after).
+  const char* days_env = std::getenv("PUFFER_CAMPAIGN_DAYS");
+  const int days_requested = days_env != nullptr ? std::atoi(days_env) : 5;
+  const int days = days_requested > 0 ? std::max(2, days_requested) : 5;
 
-  Table table{{"Scheme", "Startup delay (s)", "First-chunk SSIM (dB)"}};
-  double fugu_first_ssim = 0.0;
-  double best_other_first_ssim = 0.0;
-  Rng rng{9};
-  for (const auto& scheme : trial.schemes) {
-    const stats::SchemeSummary summary =
-        stats::summarize_scheme(scheme.considered, rng, /*replicates=*/100);
-    table.add_row({scheme.scheme, format_fixed(summary.startup_delay_s, 2),
-                   format_fixed(summary.first_chunk_ssim_db, 2)});
-    if (scheme.scheme == "Fugu") {
-      fugu_first_ssim = summary.first_chunk_ssim_db;
-    } else {
-      best_other_first_ssim =
-          std::max(best_other_first_ssim, summary.first_chunk_ssim_db);
-    }
+  exp::CampaignArm fugu;
+  fugu.name = "fugu-insitu";
+  fugu.scheme = "Fugu";
+  fugu.retrain = true;  // the paper's nightly warm-started retrain
+  fugu.train.epochs = 2;
+  fugu.train.max_examples_per_step = 20000;
+  exp::CampaignArm bba;
+  bba.name = "bba";
+  bba.scheme = "BBA";
+
+  exp::CampaignConfig config;
+  config.arms = {fugu, bba};
+  config.phases = {exp::CampaignPhase{net::ScenarioSpec{"puffer"}, days}};
+  config.telemetry_sessions_per_day = bench::sessions_per_scheme(96);
+  config.eval_sessions_per_day =
+      std::max(8, config.telemetry_sessions_per_day / 2);
+  config.holdout_sessions_per_day =
+      std::max(6, config.telemetry_sessions_per_day / 6);
+  config.seed = 20190126;  // Fugu's launch date (Figure 9)
+  config.stream.max_stream_chunks = 1000;
+  config.checkpoint_dir = exp::model_cache_dir() + "/campaign_fig09_" +
+                          std::to_string(config.fingerprint());
+
+  std::printf("[setup] cold-start campaign: %d days x %d telemetry sessions "
+              "(checkpointed in %s)\n\n",
+              days, config.telemetry_sessions_per_day,
+              config.checkpoint_dir.c_str());
+
+  exp::Campaign campaign{config};
+  const exp::CampaignResult result = campaign.run();
+  if (result.restored_days > 0) {
+    std::printf("[resume] restored %d completed day(s) from the checkpoint\n\n",
+                result.restored_days);
+  }
+
+  Table table{{"Day", "Fugu SSIM (dB)", "Fugu stall %", "TTP CE (nats)",
+               "TTP top-1 %", "BBA SSIM (dB)"}};
+  for (const exp::DayStats& day : result.days) {
+    const exp::ArmDayStats& f = day.arms[0];
+    const exp::ArmDayStats& b = day.arms[1];
+    table.add_row({std::to_string(day.day), format_fixed(f.ssim_mean_db, 2),
+                   format_percent(f.stall_ratio, 2),
+                   format_fixed(f.cross_entropy, 3),
+                   format_fixed(100.0 * f.top1_accuracy, 1),
+                   format_fixed(b.ssim_mean_db, 2)});
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("Shape check vs paper: Fugu's first-chunk SSIM is the highest "
-              "(TCP-statistics bootstrap): %s\n",
-              fugu_first_ssim >= best_other_first_ssim ? "holds" : "VIOLATED");
-  return fugu_first_ssim >= best_other_first_ssim ? 0 : 1;
+
+  // Day 0 streams with random weights; the last day's model has seen every
+  // prior day's telemetry. The paper's cold-start shape: prediction quality
+  // (and with it QoE) improves over the first days.
+  const double first_ce = result.days.front().arms[0].cross_entropy;
+  const double last_ce = result.days.back().arms[0].cross_entropy;
+  const bool holds = last_ce < first_ce;
+  std::printf("Shape check vs paper: in-situ learning lowers held-out TTP "
+              "cross-entropy over the first days (%.3f -> %.3f nats): %s\n",
+              first_ce, last_ce, holds ? "holds" : "VIOLATED");
+  std::printf("(uniform baseline over 21 bins would be ln 21 = 3.04 nats)\n");
+  return holds ? 0 : 1;
 }

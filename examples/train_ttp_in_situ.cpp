@@ -1,60 +1,55 @@
-// Learning in situ: collect telemetry from the (simulated) deployment, then
-// train Fugu's Transmission Time Predictor day by day exactly as Puffer does
-// (section 4.3): 14-day sliding window, recency weighting, warm start from
-// the previous day's model.
+// Learning in situ: run the paper's daily loop (section 4.3 / Figure 6) with
+// the campaign engine — every day the deployment collects telemetry from
+// live traffic, retrains the TTP on the accumulated window with a warm start
+// from yesterday's weights, and redeploys it the next morning. This example
+// is a thin client of exp::Campaign: one retraining Fugu arm, three days,
+// run in memory (pass a checkpoint_dir to make it resumable).
 
 #include <cstdio>
 
+#include "exp/campaign.hh"
 #include "exp/insitu.hh"
-#include "exp/trial.hh"
-#include "fugu/ttp_trainer.hh"
-#include "util/rng.hh"
 
 int main() {
   using namespace puffer;
 
-  const fugu::TtpConfig config;  // the paper's TTP: 22 -> 64 -> 64 -> 21
-  fugu::TtpTrainConfig train_config;
-  train_config.epochs = 4;
+  exp::CampaignArm fugu;
+  fugu.name = "fugu-insitu";
+  fugu.scheme = "Fugu";  // streams with the nightly model from day 0 on
+  fugu.retrain = true;
+  fugu.warm_start = true;          // cold-restart contrast: set to false
+  fugu.train.epochs = 4;           // the paper's TTP: 22 -> 64 -> 64 -> 21
 
-  std::printf("Day-by-day in-situ training (3 days, warm-started)\n\n");
-  fugu::TtpDataset accumulated;
-  fugu::TtpModel model{config, /*seed=*/1};
-  Rng rng{99};
+  exp::CampaignConfig config;
+  config.arms = {fugu};
+  config.phases = {exp::CampaignPhase{net::ScenarioSpec{"puffer"}, 3}};
+  config.telemetry_sessions_per_day = 60;
+  config.eval_sessions_per_day = 16;
+  config.holdout_sessions_per_day = 12;
+  config.seed = 500;
+  config.stream.max_stream_chunks = 1000;
 
-  for (int day = 0; day < 3; day++) {
-    // One day of deployment telemetry (sessions served by the live mix of
-    // classical schemes; Figure 6's "Data Aggregation" box).
-    fugu::TtpDataset daily = exp::collect_telemetry(
-        net::ScenarioSpec{"puffer"}, /*num_sessions=*/60, day,
-        /*seed=*/500);
-    size_t chunks = 0;
-    for (auto& stream : daily) {
-      chunks += stream.chunks.size();
-      accumulated.push_back(std::move(stream));
-    }
+  std::printf("Day-by-day in-situ training (%d days, warm-started)\n\n",
+              config.total_days());
 
-    // Retrain with warm start from yesterday's weights.
-    fugu::TtpTrainReport report;
-    model = fugu::train_ttp(config, accumulated, day, train_config, rng,
-                            day == 0 ? nullptr : &model, &report);
+  exp::Campaign campaign{config};
+  const exp::CampaignResult result = campaign.run();
 
-    // Held-out check on fresh telemetry.
-    const fugu::TtpDataset holdout = exp::collect_telemetry(
-        net::ScenarioSpec{"puffer"}, 12, day, /*seed=*/9000 + day);
-    const fugu::TtpEvaluation eval = fugu::evaluate_ttp(model, holdout);
-
+  for (const exp::DayStats& day : result.days) {
+    const exp::ArmDayStats& arm = day.arms[0];
     std::printf(
-        "day %d: +%5zu chunks | train loss %.3f -> %.3f | "
-        "held-out CE %.3f nats, top-1 %.1f%%, RMSE(expected) %.2f s\n",
-        day, chunks, report.loss_per_epoch.front(),
-        report.loss_per_epoch.back(), eval.cross_entropy,
-        100.0 * eval.top1_accuracy, eval.rmse_expected_s);
+        "day %d: +%5llu chunks | deployed-model SSIM %.2f dB, stall %.2f%% | "
+        "held-out CE %.3f nats, top-1 %.1f%%\n",
+        day.day, static_cast<unsigned long long>(day.telemetry_chunks),
+        arm.ssim_mean_db, 100.0 * arm.stall_ratio, arm.cross_entropy,
+        100.0 * arm.top1_accuracy);
   }
 
+  const fugu::TtpModel* model = campaign.deployed_model("fugu-insitu");
   const std::string path = "ttp_insitu_example.bin";
-  exp::save_ttp(model, path);
+  exp::save_ttp(*model, path);
   std::printf("\nSaved the trained TTP to %s\n", path.c_str());
-  std::printf("(uniform baseline over 21 bins would be ln 21 = 3.04 nats)\n");
+  std::printf("(uniform baseline over 21 bins would be ln 21 = 3.04 nats; "
+              "day 0 streams with untrained weights)\n");
   return 0;
 }

@@ -1,8 +1,12 @@
 #include "exp/insitu.hh"
 
+#include <algorithm>
 #include <fstream>
+#include <new>
+#include <stdexcept>
 
 #include "nn/serialize.hh"
+#include "util/binary_io.hh"
 #include "util/require.hh"
 
 namespace puffer::exp {
@@ -11,38 +15,64 @@ namespace {
 
 constexpr uint32_t kTtpMagic = 0x50545450;   // "PTTP"
 constexpr uint32_t kDataMagic = 0x50444154;  // "PDAT"
-
-void write_u64(std::ostream& out, const uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+constexpr std::string_view kIoContext = "insitu";
 
 uint64_t read_u64(std::istream& in) {
-  uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  require(bool(in), "read_u64: truncated stream");
-  return value;
-}
-
-void write_f64(std::ostream& out, const double value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  return puffer::read_u64(in, kIoContext);
 }
 
 double read_f64(std::istream& in) {
-  double value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  require(bool(in), "read_f64: truncated stream");
-  return value;
+  return puffer::read_f64(in, kIoContext);
 }
 
 }  // namespace
 
-void save_ttp(const fugu::TtpModel& model, const std::string& path) {
-  std::ofstream out{path, std::ios::binary};
-  require(out.is_open(), "save_ttp: cannot open " + path);
+void save_ttp(const fugu::TtpModel& model, std::ostream& out) {
   write_u64(out, kTtpMagic);
   write_u64(out, static_cast<uint64_t>(model.networks().size()));
   for (const auto& net : model.networks()) {
     nn::save_mlp(net, out);
+  }
+}
+
+void save_ttp(const fugu::TtpModel& model, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_ttp: cannot open " + path);
+  save_ttp(model, out);
+  out.flush();
+  require(bool(out), "save_ttp: write failed for " + path);
+}
+
+std::optional<fugu::TtpModel> try_load_ttp(const fugu::TtpConfig& config,
+                                           std::istream& in) {
+  // Any structural failure while parsing (bad magic, truncation, implausible
+  // sizes — load_mlp and the read helpers raise RequirementError; a corrupt
+  // header that slips past the plausibility checks can still surface as an
+  // allocation failure) means "no usable model here": report nullopt rather
+  // than crashing the caller.
+  try {
+    if (read_u64(in) != kTtpMagic) {
+      return std::nullopt;
+    }
+    const uint64_t count = read_u64(in);
+    if (count != static_cast<uint64_t>(config.horizon)) {
+      return std::nullopt;
+    }
+    fugu::TtpModel model{config, /*seed=*/0};
+    for (uint64_t k = 0; k < count; k++) {
+      nn::Mlp net = nn::load_mlp(in);
+      if (net.layer_sizes() != model.networks()[k].layer_sizes()) {
+        return std::nullopt;  // architecture mismatch with requested config
+      }
+      model.networks()[k] = std::move(net);
+    }
+    return model;
+  } catch (const RequirementError&) {
+    return std::nullopt;
+  } catch (const std::bad_alloc&) {
+    return std::nullopt;
+  } catch (const std::length_error&) {
+    return std::nullopt;
   }
 }
 
@@ -52,27 +82,10 @@ std::optional<fugu::TtpModel> try_load_ttp(const fugu::TtpConfig& config,
   if (!in.is_open()) {
     return std::nullopt;
   }
-  if (read_u64(in) != kTtpMagic) {
-    return std::nullopt;
-  }
-  const uint64_t count = read_u64(in);
-  if (count != static_cast<uint64_t>(config.horizon)) {
-    return std::nullopt;
-  }
-  fugu::TtpModel model{config, /*seed=*/0};
-  for (uint64_t k = 0; k < count; k++) {
-    nn::Mlp net = nn::load_mlp(in);
-    if (net.layer_sizes() != model.networks()[k].layer_sizes()) {
-      return std::nullopt;  // architecture mismatch with requested config
-    }
-    model.networks()[k] = std::move(net);
-  }
-  return model;
+  return try_load_ttp(config, in);
 }
 
-void save_dataset(const fugu::TtpDataset& dataset, const std::string& path) {
-  std::ofstream out{path, std::ios::binary};
-  require(out.is_open(), "save_dataset: cannot open " + path);
+void save_dataset(const fugu::TtpDataset& dataset, std::ostream& out) {
   write_u64(out, kDataMagic);
   write_u64(out, dataset.size());
   for (const auto& stream : dataset) {
@@ -90,41 +103,65 @@ void save_dataset(const fugu::TtpDataset& dataset, const std::string& path) {
   }
 }
 
+void save_dataset(const fugu::TtpDataset& dataset, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  require(out.is_open(), "save_dataset: cannot open " + path);
+  save_dataset(dataset, out);
+  out.flush();
+  require(bool(out), "save_dataset: write failed for " + path);
+}
+
+std::optional<fugu::TtpDataset> try_load_dataset(std::istream& in) {
+  try {
+    if (read_u64(in) != kDataMagic) {
+      return std::nullopt;
+    }
+    fugu::TtpDataset dataset;
+    const uint64_t num_streams = read_u64(in);
+    // Reservations are capped: a corrupt header must not be able to request
+    // terabytes before the (truncated) payload reads fail.
+    dataset.reserve(std::min<uint64_t>(num_streams, 1u << 16));
+    for (uint64_t s = 0; s < num_streams; s++) {
+      fugu::StreamLog stream;
+      stream.day = static_cast<int>(read_u64(in));
+      const uint64_t num_chunks = read_u64(in);
+      stream.chunks.reserve(std::min<uint64_t>(num_chunks, 1u << 16));
+      for (uint64_t c = 0; c < num_chunks; c++) {
+        fugu::ChunkLog chunk;
+        chunk.size_mb = read_f64(in);
+        chunk.tx_time_s = read_f64(in);
+        chunk.tcp_at_send.cwnd_pkts = read_f64(in);
+        chunk.tcp_at_send.in_flight_pkts = read_f64(in);
+        chunk.tcp_at_send.min_rtt_s = read_f64(in);
+        chunk.tcp_at_send.srtt_s = read_f64(in);
+        chunk.tcp_at_send.delivery_rate_bps = read_f64(in);
+        stream.chunks.push_back(chunk);
+      }
+      dataset.push_back(std::move(stream));
+    }
+    return dataset;
+  } catch (const RequirementError&) {
+    return std::nullopt;
+  } catch (const std::bad_alloc&) {
+    return std::nullopt;
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<fugu::TtpDataset> try_load_dataset(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in.is_open()) {
     return std::nullopt;
   }
-  if (read_u64(in) != kDataMagic) {
-    return std::nullopt;
-  }
-  fugu::TtpDataset dataset;
-  const uint64_t num_streams = read_u64(in);
-  dataset.reserve(num_streams);
-  for (uint64_t s = 0; s < num_streams; s++) {
-    fugu::StreamLog stream;
-    stream.day = static_cast<int>(read_u64(in));
-    const uint64_t num_chunks = read_u64(in);
-    stream.chunks.reserve(num_chunks);
-    for (uint64_t c = 0; c < num_chunks; c++) {
-      fugu::ChunkLog chunk;
-      chunk.size_mb = read_f64(in);
-      chunk.tx_time_s = read_f64(in);
-      chunk.tcp_at_send.cwnd_pkts = read_f64(in);
-      chunk.tcp_at_send.in_flight_pkts = read_f64(in);
-      chunk.tcp_at_send.min_rtt_s = read_f64(in);
-      chunk.tcp_at_send.srtt_s = read_f64(in);
-      chunk.tcp_at_send.delivery_rate_bps = read_f64(in);
-      stream.chunks.push_back(chunk);
-    }
-    dataset.push_back(std::move(stream));
-  }
-  return dataset;
+  return try_load_dataset(in);
 }
 
 fugu::TtpDataset collect_telemetry(const net::ScenarioSpec& scenario,
                                    const int num_sessions, const int day,
-                                   const uint64_t seed) {
+                                   const uint64_t seed,
+                                   const int num_threads,
+                                   const sim::StreamRunConfig stream) {
   TrialConfig config;
   config.schemes = {"BBA", "MPC-HM", "RobustMPC-HM"};
   config.sessions_per_scheme =
@@ -133,6 +170,8 @@ fugu::TtpDataset collect_telemetry(const net::ScenarioSpec& scenario,
   config.seed = seed + static_cast<uint64_t>(day) * 7919;
   config.collect_logs = true;
   config.day = day;
+  config.num_threads = num_threads;
+  config.stream = stream;
 
   const SchemeArtifacts no_models;
   TrialResult trial = run_trial(config, no_models);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exp/models.hh"
+#include "util/binary_io.hh"
 #include "util/require.hh"
 #include "util/rng.hh"
 
@@ -12,41 +13,22 @@ namespace puffer::exp {
 namespace {
 
 constexpr uint32_t kTrialMagic = 0x5054524c;  // "PTRL"
-
-void write_u64(std::ostream& out, const uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+constexpr std::string_view kIoContext = "trial cache";
 
 uint64_t read_u64(std::istream& in) {
-  uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  require(bool(in), "trial cache: truncated stream");
-  return value;
-}
-
-void write_f64(std::ostream& out, const double value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  return puffer::read_u64(in, kIoContext);
 }
 
 double read_f64(std::istream& in) {
-  double value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  require(bool(in), "trial cache: truncated stream");
-  return value;
+  return puffer::read_f64(in, kIoContext);
 }
 
 void write_string(std::ostream& out, const std::string& s) {
-  write_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  puffer::write_string(out, s);
 }
 
 std::string read_string(std::istream& in) {
-  const uint64_t n = read_u64(in);
-  require(n < (1u << 20), "trial cache: implausible string length");
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  require(bool(in), "trial cache: truncated stream");
-  return s;
+  return puffer::read_string(in, kIoContext, (1u << 20) - 1);
 }
 
 void write_figures(std::ostream& out, const stats::StreamFigures& f) {
@@ -95,7 +77,8 @@ uint64_t config_fingerprint(const TrialConfig& config) {
       << scenario_fingerprint(config.scenario) << '|' << config.seed << '|'
       << config.paired_paths << '|' << config.min_watch_time_s << '|'
       << config.stream.max_buffer_s << '|' << config.stream.lookahead_chunks
-      << '|' << config.stream.player_init_delay_s;
+      << '|' << config.stream.player_init_delay_s << '|'
+      << config.stream.max_stream_chunks;
   return stable_hash(key.str());
 }
 

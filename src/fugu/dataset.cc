@@ -17,6 +17,11 @@ TtpDataset DataAggregator::window(const int current_day,
   return result;
 }
 
+void DataAggregator::prune_before(const int min_day) {
+  std::erase_if(streams_,
+                [min_day](const StreamLog& s) { return s.day < min_day; });
+}
+
 size_t DataAggregator::num_chunks() const {
   size_t total = 0;
   for (const auto& stream : streams_) {

@@ -38,6 +38,12 @@ class DataAggregator {
   /// Streams with day in (current_day - window_days, current_day].
   [[nodiscard]] TtpDataset window(int current_day, int window_days = 14) const;
 
+  /// Drop streams older than `min_day` (day < min_day). Long-running
+  /// campaigns call this after each nightly retrain so the in-memory state
+  /// and its checkpoints stay bounded by the training window instead of
+  /// growing with campaign length. Relative order of survivors is preserved.
+  void prune_before(int min_day);
+
   [[nodiscard]] size_t num_streams() const { return streams_.size(); }
   [[nodiscard]] size_t num_chunks() const;
   [[nodiscard]] const TtpDataset& all() const { return streams_; }

@@ -97,6 +97,15 @@ bool ScenarioRegistry::contains(const std::string& name) const {
   return families_.count(name) > 0;
 }
 
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  require(!text.empty(), "ScenarioSpec::parse: empty scenario string");
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return ScenarioSpec{text};
+  }
+  return ScenarioSpec{text.substr(0, colon), text.substr(colon + 1)};
+}
+
 std::vector<std::string> ScenarioRegistry::names() const {
   std::vector<std::string> names;
   names.reserve(families_.size());

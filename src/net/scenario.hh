@@ -28,6 +28,10 @@ struct ScenarioSpec {
   /// Stable textual identity, used in trial-cache fingerprints.
   [[nodiscard]] std::string key() const { return family + ":" + trace_path; }
 
+  /// Parse "family" or "family:trace_path" (the inverse of key(), with the
+  /// trailing ':' optional) — the CLI syntax of the scenario-driven benches.
+  [[nodiscard]] static ScenarioSpec parse(const std::string& text);
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/binary_io.hh"
 #include "util/require.hh"
 
 namespace puffer::nn {
@@ -13,15 +14,8 @@ namespace {
 
 constexpr uint32_t kMagic = 0x50554d4c;  // "PUML"
 
-void write_u64(std::ostream& out, const uint64_t value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
 uint64_t read_u64(std::istream& in) {
-  uint64_t value = 0;
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  require(bool(in), "load_mlp: truncated stream");
-  return value;
+  return puffer::read_u64(in, "load_mlp");
 }
 
 }  // namespace
@@ -52,6 +46,14 @@ Mlp load_mlp(std::istream& in) {
     s = read_u64(in);
     require(s >= 1 && s < (1u << 20), "load_mlp: implausible layer size");
   }
+  // Individually-plausible layer sizes can still multiply into terabytes of
+  // weights; bound the total before constructing anything so a corrupt or
+  // crafted header fails with RequirementError, not bad_alloc/OOM.
+  uint64_t params = 0;
+  for (size_t l = 0; l + 1 < sizes.size(); l++) {
+    params += static_cast<uint64_t>(sizes[l]) * sizes[l + 1] + sizes[l + 1];
+  }
+  require(params < (uint64_t{1} << 26), "load_mlp: implausible parameter count");
   Mlp net{sizes, /*seed=*/0};
   for (size_t l = 0; l < net.num_layers(); l++) {
     Matrix& w = net.weights()[l];

@@ -45,6 +45,10 @@ StreamOutcome run_stream(net::TcpSender& sender, abr::AbrAlgorithm& abr,
       static_cast<size_t>(config.lookahead_chunks));
 
   for (int64_t i = first_chunk; !user_left; i++) {
+    if (config.max_stream_chunks > 0 &&
+        outcome.chunks_played >= config.max_stream_chunks) {
+      break;  // simulation budget reached; figures cover the played prefix
+    }
     // Server-side send pacing: wait until the client buffer has room for
     // another chunk (Puffer sends whenever there is room, section 6.2).
     if (playing && buffer_s + chunk_dur > config.max_buffer_s) {

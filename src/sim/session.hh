@@ -30,6 +30,13 @@ struct StreamRunConfig {
   /// decode) added to the startup delay; calibrates the absolute startup
   /// scale to the ~0.5 s the paper reports (Figure 9).
   double player_init_delay_s = 0.40;
+  /// Simulation budget: end the stream after this many played chunks, as if
+  /// the viewer's remaining watch intent lay beyond the simulated horizon.
+  /// 0 (default) = unlimited. The watch-time distribution is heavy-tailed
+  /// (Pareto intents up to 16 h), so campaign-scale workloads cap this to
+  /// bound the cost of a single monster stream without touching the user
+  /// model; figures reflect the watched prefix exactly.
+  int max_stream_chunks = 0;
 };
 
 /// Everything measured about one stream.

@@ -49,8 +49,15 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock{mutex_};
-  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    all_done_.wait(lock, [this] { return unfinished_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
 int ThreadPool::hardware_threads() {
@@ -70,9 +77,17 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock{mutex_};
+      if (error && !first_error_) {
+        first_error_ = std::move(error);
+      }
       unfinished_--;
       if (unfinished_ == 0) {
         all_done_.notify_all();

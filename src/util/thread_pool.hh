@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -18,14 +19,19 @@ namespace puffer {
 /// responsibility (jobs must write to disjoint, pre-indexed slots rather
 /// than to shared accumulators).
 ///
-/// Jobs must not throw: catch inside the job and stash an exception_ptr if
-/// the error needs to outlive the worker (see ParallelTrialRunner).
+/// Jobs may throw: the first exception escaping any job is captured and
+/// rethrown by the next wait() on the calling thread (later exceptions from
+/// the same batch are dropped, and the remaining jobs still run). Callers
+/// that need every error, or want to cancel outstanding work on the first
+/// failure, should catch inside the job instead (see ParallelTrialRunner).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (values < 1 are clamped to 1).
   explicit ThreadPool(int num_threads);
 
-  /// Joins all workers; pending jobs are still executed first.
+  /// Joins all workers; pending jobs are still executed first. An exception
+  /// captured but never observed via wait() is discarded here (a destructor
+  /// cannot rethrow).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,7 +40,9 @@ class ThreadPool {
   /// Enqueue one job.
   void submit(std::function<void()> job);
 
-  /// Block until every job submitted so far has completed.
+  /// Block until every job submitted so far has completed, then rethrow the
+  /// first exception any of them raised (if one did). The pool stays usable
+  /// after a rethrow.
   void wait();
 
   [[nodiscard]] int num_threads() const {
@@ -55,6 +63,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   int64_t unfinished_ = 0;  ///< queued + currently running jobs
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  ///< first job exception; guarded by mutex_
 };
 
 }  // namespace puffer

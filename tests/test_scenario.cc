@@ -83,6 +83,16 @@ TEST(ScenarioRegistry, SpecKeyIsStable) {
   EXPECT_FALSE(ScenarioSpec{"cellular"} == ScenarioSpec{"satellite"});
 }
 
+TEST(ScenarioRegistry, SpecParseInvertsKey) {
+  EXPECT_EQ(ScenarioSpec::parse("cellular"), ScenarioSpec{"cellular"});
+  EXPECT_EQ(ScenarioSpec::parse("puffer:"), ScenarioSpec{"puffer"});
+  EXPECT_EQ(ScenarioSpec::parse("trace-replay:/tmp/x.trace"),
+            (ScenarioSpec{"trace-replay", "/tmp/x.trace"}));
+  const ScenarioSpec spec{"trace-replay", "/tmp/a:b.trace"};
+  EXPECT_EQ(ScenarioSpec::parse(spec.key()), spec);
+  EXPECT_THROW(ScenarioSpec::parse(""), RequirementError);
+}
+
 TEST(ScenarioFamilies, DeterministicPerSeed) {
   // Same (family, seed) -> bit-identical path; different seed -> different.
   for (const auto& family : kBuiltinSynthetic) {

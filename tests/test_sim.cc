@@ -72,6 +72,33 @@ TEST(RunStream, AmpleBandwidthNeverStalls) {
   EXPECT_GT(outcome.chunks_played, 50);
 }
 
+TEST(RunStream, MaxStreamChunksCapsTheSimulationBudget) {
+  const auto path = constant_path(50.0);
+  StreamRunConfig capped;
+  capped.max_stream_chunks = 10;
+
+  auto sender = make_sender(path);
+  sim::send_preamble(sender);
+  FixedRung abr{5};
+  auto video = make_video();
+  Rng rng{1};
+  const auto outcome =
+      run_stream(sender, abr, video, 0, patient_viewer(1e6), rng, capped);
+  EXPECT_TRUE(outcome.began_playing);
+  EXPECT_EQ(outcome.chunks_played, 10);
+  EXPECT_EQ(outcome.transfer_log.size(), 10u);
+
+  // The default (0) is unlimited: the same viewer watches far longer.
+  auto sender2 = make_sender(path);
+  sim::send_preamble(sender2);
+  FixedRung abr2{5};
+  auto video2 = make_video();
+  Rng rng2{1};
+  const auto uncapped =
+      run_stream(sender2, abr2, video2, 0, patient_viewer(120.0), rng2);
+  EXPECT_GT(uncapped.chunks_played, 10);
+}
+
 TEST(RunStream, StartupDelayPositiveAndSmallOnFastPath) {
   const auto path = constant_path(50.0);
   auto sender = make_sender(path);

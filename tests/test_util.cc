@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/require.hh"
@@ -277,6 +280,58 @@ TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
 
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, PropagatesJobExceptionToWait) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 10; i++) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure does not cancel the batch: every other job still ran, and
+  // the pool stays usable — the error is delivered exactly once.
+  EXPECT_EQ(count.load(), 10);
+  pool.submit([&count] { count.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, FirstExceptionWins) {
+  // One worker executes the FIFO queue in order, so "first" is well-defined.
+  ThreadPool pool{1};
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // Destroying the pool while jobs are still queued must run them all
+  // before joining — no deadlock, no dropped work.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool{1};
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < 50; i++) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait(): the destructor handles the backlog.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DestructionAfterUnobservedExceptionIsSafe) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("never observed"); });
+  // Destroying without wait() must discard the captured exception quietly.
 }
 
 }  // namespace
