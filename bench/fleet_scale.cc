@@ -1,0 +1,338 @@
+// fleet_scale: throughput of the fleet engine and of batched TTP inference.
+//
+//   ./fleet_scale [--smoke] [--sessions N] [--arrivals poisson|diurnal|flash-crowd]
+//                 [--rate R] [--threads T] [--json PATH]
+//
+// Part 1 microbenchmarks one ABR decision's worth of TTP inference three
+// ways — scalar forward_one per (step, rung), per-decision fused GEMMs, and
+// fleet-style coalescing across sessions — auditing that all three agree
+// bit for bit before timing them. Part 2 runs a fleet trial and reports
+// sessions/sec, chunks/sec and the concurrency profile next to the
+// session-sequential baseline. Results land in BENCH_fleet.json (override
+// with --json) so the perf trajectory accumulates data.
+//
+// --smoke shrinks everything to seconds and exits non-zero on any mismatch,
+// which is what CI runs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bba.hh"
+#include "exp/fleet_trial.hh"
+#include "exp/registry.hh"
+#include "fugu/batch_ttp.hh"
+#include "fugu/fugu.hh"
+#include "fugu/ttp_predictor.hh"
+#include "util/require.hh"
+
+namespace {
+
+using puffer::Rng;
+namespace abr = puffer::abr;
+namespace exp = puffer::exp;
+namespace fugu = puffer::fugu;
+namespace media = puffer::media;
+namespace sim = puffer::sim;
+
+double seconds_since(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct DecisionInputs {
+  abr::AbrObservation obs;
+  fugu::TtpHistory history;
+  std::vector<abr::TxTimeQuery> queries;
+};
+
+DecisionInputs make_decision(Rng& rng, const int horizon) {
+  DecisionInputs decision;
+  decision.obs.buffer_s = rng.uniform(0.0, 15.0);
+  decision.obs.tcp.cwnd_pkts = rng.uniform(10.0, 300.0);
+  decision.obs.tcp.in_flight_pkts = rng.uniform(0.0, 200.0);
+  decision.obs.tcp.min_rtt_s = rng.uniform(0.01, 0.3);
+  decision.obs.tcp.srtt_s = rng.uniform(0.01, 0.4);
+  decision.obs.tcp.delivery_rate_bps = rng.uniform(1e5, 5e7);
+  for (int k = 0; k < fugu::kTtpHistory; k++) {
+    decision.history.record(rng.uniform(0.1, 4.0), rng.uniform(0.05, 3.0),
+                            fugu::kTtpHistory);
+  }
+  for (int step = 0; step < horizon; step++) {
+    for (int rung = 0; rung < media::kNumRungs; rung++) {
+      decision.queries.push_back({step, rng.uniform_int(50'000, 6'000'000)});
+    }
+  }
+  return decision;
+}
+
+void prime_predictor(abr::TxTimePredictor& predictor,
+                     const DecisionInputs& decision) {
+  predictor.reset_session();
+  for (size_t i = 0; i < decision.history.sizes_mb.size(); i++) {
+    abr::ChunkRecord record;
+    record.size_bytes =
+        static_cast<int64_t>(decision.history.sizes_mb[i] * 1e6);
+    record.transmission_time_s = decision.history.tx_times_s[i];
+    predictor.on_chunk_complete(record);
+  }
+  predictor.begin_decision(decision.obs);
+}
+
+bool same_bits(const std::vector<abr::TxTimeDistribution>& a,
+               const std::vector<abr::TxTimeDistribution>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); i++) {
+    if (a[i].size() != b[i].size()) {
+      return false;
+    }
+    for (size_t j = 0; j < a[i].size(); j++) {
+      if (std::memcmp(&a[i][j].time_s, &b[i][j].time_s, sizeof(double)) != 0 ||
+          std::memcmp(&a[i][j].probability, &b[i][j].probability,
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct InferenceNumbers {
+  double scalar_rows_per_s = 0.0;
+  double batched_rows_per_s = 0.0;
+  bool identical = false;
+};
+
+/// Batched-vs-scalar inference microbenchmark (and bitwise audit). The
+/// cross-session coalescing on top of this is measured by the fleet run
+/// below (coalesced rows / GEMM calls).
+InferenceNumbers bench_inference(const int decisions) {
+  const auto model =
+      std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 20190119);
+  const int horizon = model->config().horizon;
+
+  Rng rng{1};
+  std::vector<DecisionInputs> inputs;
+  inputs.reserve(static_cast<size_t>(decisions));
+  for (int d = 0; d < decisions; d++) {
+    inputs.push_back(make_decision(rng, horizon));
+  }
+  const double rows =
+      static_cast<double>(decisions) * horizon * media::kNumRungs;
+
+  InferenceNumbers numbers;
+  std::vector<abr::TxTimeDistribution> out, expected;
+
+  // Only the predict_batch calls are timed: the per-decision priming
+  // (reset + history replay + begin_decision) is identical on both paths
+  // and would otherwise dilute the ratio the JSON entry tracks.
+  double scalar_s = 0.0, batched_s = 0.0;
+
+  // Scalar: forward_one per (step, rung) — the legacy TtpPredictor path.
+  fugu::TtpPredictor scalar{model};
+  for (const DecisionInputs& decision : inputs) {
+    prime_predictor(scalar, decision);
+    const auto start = std::chrono::steady_clock::now();
+    scalar.predict_batch(decision.queries, out);  // default loop
+    scalar_s += seconds_since(start);
+  }
+  numbers.scalar_rows_per_s = rows / scalar_s;
+
+  // Per-decision fused GEMMs.
+  fugu::BatchTtpPredictor batched{model};
+  for (const DecisionInputs& decision : inputs) {
+    prime_predictor(batched, decision);
+    const auto start = std::chrono::steady_clock::now();
+    batched.predict_batch(decision.queries, out);
+    batched_s += seconds_since(start);
+  }
+  numbers.batched_rows_per_s = rows / batched_s;
+
+  // Bitwise audit: scalar vs batched on every decision.
+  numbers.identical = true;
+  for (const DecisionInputs& decision : inputs) {
+    prime_predictor(scalar, decision);
+    scalar.predict_batch(decision.queries, expected);
+    prime_predictor(batched, decision);
+    batched.predict_batch(decision.queries, out);
+    if (!same_bits(expected, out)) {
+      numbers.identical = false;
+    }
+  }
+  return numbers;
+}
+
+exp::SchemeFactory fleet_factory() {
+  static const auto model =
+      std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 20190119);
+  return [](const std::string& name) -> std::unique_ptr<abr::AbrAlgorithm> {
+    if (name == "Fugu") {
+      return fugu::make_fugu(model, name);
+    }
+    return exp::make_scheme(name, exp::SchemeArtifacts{});
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int sessions = 200;
+  int threads = 0;
+  double rate = 0.2;
+  std::string arrivals = "poisson";
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      puffer::require(i + 1 < argc, "fleet_scale: missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--sessions") {
+      sessions = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      threads = std::atoi(next().c_str());
+    } else if (arg == "--rate") {
+      rate = std::atof(next().c_str());
+    } else if (arg == "--arrivals") {
+      arrivals = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_scale [--smoke] [--sessions N] [--threads T] "
+                   "[--rate R] [--arrivals KIND] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    sessions = 30;
+  }
+
+  // Part 1: batched-vs-scalar TTP inference.
+  std::printf("== batched TTP inference (%s) ==\n",
+              smoke ? "smoke" : "full");
+  const InferenceNumbers inference = bench_inference(smoke ? 200 : 2000);
+  std::printf("  scalar forward_one : %12.0f rows/s\n",
+              inference.scalar_rows_per_s);
+  std::printf("  per-decision GEMM  : %12.0f rows/s  (%.2fx)\n",
+              inference.batched_rows_per_s,
+              inference.batched_rows_per_s / inference.scalar_rows_per_s);
+  std::printf("  bitwise identical  : %s\n",
+              inference.identical ? "yes" : "NO — MISMATCH");
+
+  // Part 2: fleet trial vs the session-sequential baseline.
+  exp::FleetTrialConfig config;
+  config.trial.schemes = {"Fugu", "MPC-HM", "BBA"};
+  config.trial.sessions_per_scheme = sessions / 3;
+  config.trial.seed = 20190119;
+  config.trial.num_threads = threads;
+  config.trial.stream.max_stream_chunks = smoke ? 60 : 400;
+  config.arrivals.kind = arrivals;
+  config.arrivals.rate_per_s = rate;
+
+  std::printf("\n== fleet engine: %zu schemes x %d sessions, %s arrivals "
+              "(rate %.3g/s) ==\n",
+              config.trial.schemes.size(), config.trial.sessions_per_scheme,
+              arrivals.c_str(), rate);
+
+  auto start = std::chrono::steady_clock::now();
+  const exp::TrialResult sequential =
+      exp::run_trial(config.trial, fleet_factory());
+  const double sequential_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const exp::FleetTrialResult fleet =
+      exp::run_fleet_trial(config, fleet_factory());
+  const double fleet_s = seconds_since(start);
+
+  bool figures_identical = true;
+  for (size_t s = 0; s < sequential.schemes.size(); s++) {
+    const auto& a = sequential.schemes[s];
+    const auto& b = fleet.trial.schemes[s];
+    if (a.considered.size() != b.considered.size() ||
+        a.consort.considered != b.consort.considered) {
+      figures_identical = false;
+      continue;
+    }
+    for (size_t i = 0; i < a.considered.size(); i++) {
+      if (std::memcmp(&a.considered[i], &b.considered[i],
+                      sizeof(a.considered[i])) != 0) {
+        figures_identical = false;
+      }
+    }
+  }
+
+  const double sessions_per_s =
+      static_cast<double>(fleet.fleet.sessions) / fleet_s;
+  const double chunks_per_s =
+      static_cast<double>(fleet.fleet.decisions) / fleet_s;
+  std::printf("  sequential baseline : %8.2f s\n", sequential_s);
+  std::printf("  fleet run           : %8.2f s  (%.0f sessions/s, "
+              "%.0f chunks/s wall)\n",
+              fleet_s, sessions_per_s, chunks_per_s);
+  std::printf("  figure-identical    : %s\n",
+              figures_identical ? "yes" : "NO — MISMATCH");
+  std::printf("  virtual duration    : %8.0f s\n",
+              fleet.fleet.virtual_duration_s);
+  std::printf("  peak concurrency    : %8d sessions\n",
+              fleet.fleet.load.peak());
+  std::printf("  mean concurrency    : %8.2f sessions\n",
+              fleet.fleet.load.time_weighted_mean());
+  std::printf("  decisions           : %8lld  (%lld coalesced rows, "
+              "%lld GEMMs, %lld inline)\n",
+              static_cast<long long>(fleet.fleet.decisions),
+              static_cast<long long>(fleet.fleet.coalesced_rows),
+              static_cast<long long>(fleet.fleet.gemm_calls),
+              static_cast<long long>(fleet.fleet.inline_decisions));
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fleet_scale\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"ttp_scalar_rows_per_s\": %.0f,\n"
+                 "  \"ttp_batched_rows_per_s\": %.0f,\n"
+                 "  \"ttp_batched_speedup\": %.3f,\n"
+                 "  \"ttp_bitwise_identical\": %s,\n"
+                 "  \"fleet_sessions\": %lld,\n"
+                 "  \"fleet_sessions_per_s\": %.2f,\n"
+                 "  \"fleet_chunks_per_s\": %.1f,\n"
+                 "  \"fleet_vs_sequential_wall\": %.3f,\n"
+                 "  \"fleet_figure_identical\": %s,\n"
+                 "  \"peak_concurrency\": %d,\n"
+                 "  \"mean_concurrency\": %.2f,\n"
+                 "  \"coalesced_rows\": %lld,\n"
+                 "  \"gemm_calls\": %lld\n"
+                 "}\n",
+                 smoke ? "true" : "false", inference.scalar_rows_per_s,
+                 inference.batched_rows_per_s,
+                 inference.batched_rows_per_s / inference.scalar_rows_per_s,
+                 inference.identical ? "true" : "false",
+                 static_cast<long long>(fleet.fleet.sessions), sessions_per_s,
+                 chunks_per_s, sequential_s / fleet_s,
+                 figures_identical ? "true" : "false",
+                 fleet.fleet.load.peak(),
+                 fleet.fleet.load.time_weighted_mean(),
+                 static_cast<long long>(fleet.fleet.coalesced_rows),
+                 static_cast<long long>(fleet.fleet.gemm_calls));
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!inference.identical || !figures_identical) {
+    std::fprintf(stderr, "fleet_scale: BITWISE AUDIT FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -124,20 +124,16 @@ int StochasticMpc::plan(const AbrObservation& obs,
       std::min<int>(config_.horizon, static_cast<int>(lookahead.size()));
   epoch_++;
 
-  // Precompute (and prune) one distribution per (step, rung).
-  distributions_.assign(
-      static_cast<size_t>(effective_horizon_) * media::kNumRungs, {});
-  for (int step = 0; step < effective_horizon_; step++) {
-    for (int rung = 0; rung < media::kNumRungs; rung++) {
-      TxTimeDistribution dist = predictor.predict(
-          step,
-          lookahead[static_cast<size_t>(step)].versions[static_cast<size_t>(rung)]
-              .size_bytes);
-      require(!dist.empty(), "StochasticMpc: predictor returned empty dist");
-      prune_distribution(dist, config_.prune_probability);
-      distributions_[static_cast<size_t>(step) * media::kNumRungs +
-                     static_cast<size_t>(rung)] = std::move(dist);
-    }
+  // Precompute (and prune) one distribution per (step, rung). All queries
+  // of the decision are issued in one predict_batch call so learned
+  // predictors can answer them with fused forward passes.
+  enumerate_tx_time_queries(lookahead, config_.horizon, queries_);
+  predictor.predict_batch(queries_, distributions_);
+  require(distributions_.size() == queries_.size(),
+          "StochasticMpc: predictor answered the wrong number of queries");
+  for (TxTimeDistribution& dist : distributions_) {
+    require(!dist.empty(), "StochasticMpc: predictor returned empty dist");
+    prune_distribution(dist, config_.prune_probability);
   }
 
   // Root step: continuous buffer, previous quality from the observation.

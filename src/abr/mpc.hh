@@ -69,6 +69,7 @@ class StochasticMpc {
   // Per-plan scratch (kept across calls to avoid reallocation).
   std::span<const media::ChunkOptions> lookahead_;
   int effective_horizon_ = 0;
+  std::vector<TxTimeQuery> queries_;               // [step * kNumRungs + rung]
   std::vector<TxTimeDistribution> distributions_;  // [step * kNumRungs + rung]
   std::vector<double> memo_value_;
   std::vector<uint32_t> memo_epoch_;

@@ -31,6 +31,15 @@ std::vector<float> pensieve_state(const PensieveHistory& history,
                                   const media::ChunkOptions& next_menu,
                                   const double remaining_signal) {
   std::vector<float> state;
+  pensieve_state_into(history, buffer_s, next_menu, remaining_signal, state);
+  return state;
+}
+
+void pensieve_state_into(const PensieveHistory& history, const double buffer_s,
+                         const media::ChunkOptions& next_menu,
+                         const double remaining_signal,
+                         std::vector<float>& state) {
+  state.clear();
   state.reserve(kPensieveStateDim);
 
   // Last selected rung, normalized to [0, 1].
@@ -73,7 +82,6 @@ std::vector<float> pensieve_state(const PensieveHistory& history,
 
   require(state.size() == static_cast<size_t>(kPensieveStateDim),
           "pensieve_state: dim mismatch");
-  return state;
 }
 
 nn::Mlp make_pensieve_actor(const uint64_t seed) {
@@ -105,9 +113,9 @@ void PensieveAbr::reset_session() {
 int PensieveAbr::choose_rung(const AbrObservation& obs,
                              const std::span<const media::ChunkOptions> lookahead) {
   require(!lookahead.empty(), "PensieveAbr: need the upcoming chunk menu");
-  const std::vector<float> state =
-      pensieve_state(history_, obs.buffer_s, lookahead[0]);
-  const std::vector<float> logits = actor_.forward_one(state);
+  pensieve_state_into(history_, obs.buffer_s, lookahead[0],
+                      /*remaining_signal=*/1.0, state_);
+  const std::span<const float> logits = actor_.forward_one(state_, scratch_);
   // Greedy deployment policy.
   const auto best = std::max_element(logits.begin(), logits.end());
   return static_cast<int>(best - logits.begin());

@@ -40,6 +40,12 @@ std::vector<float> pensieve_state(const PensieveHistory& history,
                                   const media::ChunkOptions& next_menu,
                                   double remaining_signal = 1.0);
 
+/// Same, into a caller-owned buffer (cleared and refilled) — the
+/// allocation-free form the per-chunk deployment loop uses.
+void pensieve_state_into(const PensieveHistory& history, double buffer_s,
+                         const media::ChunkOptions& next_menu,
+                         double remaining_signal, std::vector<float>& out);
+
 /// Architectures for the actor (policy) and critic (value baseline).
 nn::Mlp make_pensieve_actor(uint64_t seed);
 nn::Mlp make_pensieve_critic(uint64_t seed);
@@ -64,6 +70,9 @@ class PensieveAbr final : public AbrAlgorithm {
   nn::Mlp actor_;
   std::string name_;
   PensieveHistory history_;
+  // Reused across choose_rung() calls (no per-chunk allocation).
+  std::vector<float> state_;
+  nn::ForwardScratch scratch_;
 };
 
 }  // namespace puffer::abr

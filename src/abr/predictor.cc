@@ -1,0 +1,23 @@
+#include "abr/predictor.hh"
+
+#include <algorithm>
+
+namespace puffer::abr {
+
+void enumerate_tx_time_queries(
+    const std::span<const media::ChunkOptions> lookahead, const int horizon,
+    std::vector<TxTimeQuery>& out) {
+  const int effective_horizon =
+      std::min<int>(horizon, static_cast<int>(lookahead.size()));
+  out.clear();
+  out.reserve(static_cast<size_t>(effective_horizon) * media::kNumRungs);
+  for (int step = 0; step < effective_horizon; step++) {
+    for (int rung = 0; rung < media::kNumRungs; rung++) {
+      out.push_back({step, lookahead[static_cast<size_t>(step)]
+                               .versions[static_cast<size_t>(rung)]
+                               .size_bytes});
+    }
+  }
+}
+
+}  // namespace puffer::abr

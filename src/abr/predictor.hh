@@ -2,6 +2,7 @@
 #define PUFFER_ABR_PREDICTOR_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "abr/abr.hh"
@@ -18,6 +19,23 @@ struct TxTimeOutcome {
 /// predictors return a single outcome with probability 1.
 using TxTimeDistribution = std::vector<TxTimeOutcome>;
 
+/// One (horizon step, proposed chunk size) query of an ABR decision. MPC
+/// issues every query of a decision up front (one per step x rung), which
+/// is what lets batched predictors answer them in fused forward passes.
+struct TxTimeQuery {
+  int step = 0;
+  int64_t size_bytes = 0;
+};
+
+/// The canonical query enumeration of one MPC decision over `lookahead`
+/// with planning horizon `horizon`: step-major over
+/// [0, min(horizon, lookahead.size())) x every rung, refilling `out`.
+/// StochasticMpc::plan issues exactly this list, and staged batched
+/// predictors (fugu::BatchTtpPredictor::stage) pre-enqueue exactly this
+/// list — sharing the enumeration is what guarantees they can never skew.
+void enumerate_tx_time_queries(std::span<const media::ChunkOptions> lookahead,
+                               int horizon, std::vector<TxTimeQuery>& out);
+
 /// Predicts how long a proposed chunk of a given size will take to transmit.
 /// This is the module MPC consults (paper Figure 6); implementations include
 /// the classical harmonic-mean throughput predictor (MPC-HM), its robust
@@ -33,6 +51,20 @@ class TxTimePredictor {
   /// Distribution over the transmission time of sending `size_bytes` as the
   /// chunk `step` positions ahead (step 0 = the chunk being decided now).
   virtual TxTimeDistribution predict(int step, int64_t size_bytes) = 0;
+
+  /// Batch hook: answer every query of one decision at once, one
+  /// distribution per query in query order. The default loops over
+  /// predict(), so classical predictors behave exactly as before; learned
+  /// predictors override it to fuse all rows of the decision into one
+  /// forward pass per step-network (see fugu::BatchTtpPredictor).
+  virtual void predict_batch(std::span<const TxTimeQuery> queries,
+                             std::vector<TxTimeDistribution>& out) {
+    out.clear();
+    out.reserve(queries.size());
+    for (const TxTimeQuery& query : queries) {
+      out.push_back(predict(query.step, query.size_bytes));
+    }
+  }
 
   /// Telemetry of a completed transfer (updates history).
   virtual void on_chunk_complete(const ChunkRecord& record) = 0;

@@ -1,0 +1,171 @@
+#include "exp/fleet_trial.hh"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exp/parallel_trial.hh"
+#include "exp/session_task.hh"
+#include "net/scenario.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+
+namespace {
+
+/// A SessionTask plus algorithm-instance pooling: sessions overlap in fleet
+/// time, so each active session needs its own algorithm instance; returning
+/// the instance to a per-scheme free list on completion keeps the number of
+/// live instances at the peak concurrency instead of the session count.
+/// (SessionTask resets the algorithm at session start, exactly like the
+/// sequential loop's reuse, so pooling cannot change results.)
+class PooledSessionTask final : public sim::FleetTask {
+ public:
+  PooledSessionTask(std::shared_ptr<const SessionPlan> plan,
+                    std::unique_ptr<abr::AbrAlgorithm> algo,
+                    const TrialConfig& config, SchemeResult& result,
+                    std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool)
+      : plan_(std::move(plan)),
+        algo_(std::move(algo)),
+        pool_(pool),
+        task_(*plan_, *algo_, config, result) {}
+
+  ~PooledSessionTask() override { pool_.push_back(std::move(algo_)); }
+
+  Step prepare() override { return task_.prepare(); }
+  bool stage(fugu::TtpInferenceBatch& batch) override {
+    return task_.stage(batch);
+  }
+  void finish_chunk() override { task_.finish_chunk(); }
+  [[nodiscard]] double elapsed_s() const override { return task_.elapsed_s(); }
+
+ private:
+  // Keeps alive what the non-owning SessionTask points at. Paired-mode
+  // tasks of one plan share a single immutable SessionPlan (the sampled
+  // path trace can be ~1 MB; copying it per scheme at fleet concurrency
+  // would multiply that by the whole overlapping fleet).
+  std::shared_ptr<const SessionPlan> plan_;
+  std::unique_ptr<abr::AbrAlgorithm> algo_;
+  std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool_;
+  SessionTask task_;
+};
+
+}  // namespace
+
+FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
+                                 const SchemeArtifacts& artifacts) {
+  return run_fleet_trial(config, [&artifacts](const std::string& name) {
+    return make_scheme(name, artifacts);
+  });
+}
+
+FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
+                                 const SchemeFactory& factory) {
+  const TrialConfig& trial_config = config.trial;
+  require(!trial_config.schemes.empty(),
+          "run_fleet_trial: need at least one scheme");
+  const auto num_schemes =
+      static_cast<int64_t>(trial_config.schemes.size());
+  const int64_t num_plans = detail::num_session_plans(trial_config);
+  // Paired mode replays each plan once per scheme — each replay is its own
+  // fleet session, arriving at the plan's arrival time.
+  const int64_t num_tasks =
+      trial_config.paired_paths ? num_plans * num_schemes : num_plans;
+
+  const std::unique_ptr<net::PathGenerator> paths =
+      net::make_path_generator(trial_config.scenario);
+  const sim::UserModel users{trial_config.seed};
+  const Rng master{trial_config.seed};
+
+  // One arrival per plan, on the virtual timeline, from a dedicated RNG
+  // split (so the arrival schedule does not perturb any session's plan).
+  const std::unique_ptr<sim::ArrivalProcess> arrival_process =
+      sim::make_arrival_process(config.arrivals);
+  Rng arrival_rng = master.split("fleet-arrivals");
+  const std::vector<double> plan_arrivals =
+      sim::sample_arrivals(*arrival_process, arrival_rng, num_plans);
+  std::vector<double> task_arrivals;
+  task_arrivals.reserve(static_cast<size_t>(num_tasks));
+  for (int64_t plan = 0; plan < num_plans; plan++) {
+    const int64_t copies = trial_config.paired_paths ? num_schemes : 1;
+    for (int64_t c = 0; c < copies; c++) {
+      task_arrivals.push_back(plan_arrivals[static_cast<size_t>(plan)]);
+    }
+  }
+
+  // Per-task partial results, merged in task order below — the same
+  // ascending-session-index merge that makes the parallel runner
+  // bit-identical to the serial loop.
+  std::vector<SchemeResult> partials(static_cast<size_t>(num_tasks));
+  std::vector<size_t> scheme_of(static_cast<size_t>(num_tasks), 0);
+  std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>> pools(
+      trial_config.schemes.size());
+
+  // Plan cache for paired mode: the schemes' tasks of one plan are created
+  // back-to-back (same arrival time, ascending task index) and share one
+  // immutable plan instance.
+  int64_t cached_plan_index = -1;
+  std::shared_ptr<const SessionPlan> cached_plan;
+
+  const auto task_factory =
+      [&](const int64_t task_index) -> std::unique_ptr<sim::FleetTask> {
+    const int64_t plan_index = trial_config.paired_paths
+                                   ? task_index / num_schemes
+                                   : task_index;
+    Rng session_rng = master.split(static_cast<uint64_t>(plan_index));
+    std::shared_ptr<const SessionPlan> plan;
+    size_t scheme;
+    if (trial_config.paired_paths) {
+      if (plan_index != cached_plan_index) {
+        cached_plan = std::make_shared<const SessionPlan>(
+            make_session_plan(session_rng, users, *paths));
+        cached_plan_index = plan_index;
+      }
+      plan = cached_plan;
+      scheme = static_cast<size_t>(task_index % num_schemes);
+    } else {
+      plan = std::make_shared<const SessionPlan>(
+          make_session_plan(session_rng, users, *paths));
+      // RCT: blinded random assignment, drawn exactly as the serial loop
+      // draws it (same RNG, same position in the stream).
+      scheme = static_cast<size_t>(
+          session_rng.uniform_int(0, num_schemes - 1));
+    }
+    scheme_of[static_cast<size_t>(task_index)] = scheme;
+
+    std::unique_ptr<abr::AbrAlgorithm> algo;
+    auto& pool = pools[scheme];
+    if (!pool.empty()) {
+      algo = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      algo = factory(trial_config.schemes[scheme]);
+      require(algo != nullptr, "run_fleet_trial: factory returned null for '" +
+                                   trial_config.schemes[scheme] + "'");
+    }
+    return std::make_unique<PooledSessionTask>(
+        std::move(plan), std::move(algo), trial_config,
+        partials[static_cast<size_t>(task_index)], pool);
+  };
+
+  sim::FleetConfig engine_config;
+  engine_config.num_threads =
+      ParallelTrialRunner::resolve_num_threads(trial_config.num_threads);
+  engine_config.coalesce_inference = config.coalesce_inference;
+  engine_config.max_coalesced_sessions = config.max_coalesced_sessions;
+  engine_config.coalesce_window_s = config.coalesce_window_s;
+
+  FleetTrialResult result;
+  result.fleet = sim::FleetEngine{engine_config}.run(task_arrivals,
+                                                     task_factory);
+
+  result.trial.schemes = detail::empty_scheme_results(trial_config);
+  for (int64_t t = 0; t < num_tasks; t++) {
+    detail::append_scheme_result(
+        result.trial.schemes[scheme_of[static_cast<size_t>(t)]],
+        partials[static_cast<size_t>(t)]);
+  }
+  return result;
+}
+
+}  // namespace puffer::exp

@@ -1,0 +1,42 @@
+#ifndef PUFFER_EXP_FLEET_TRIAL_HH
+#define PUFFER_EXP_FLEET_TRIAL_HH
+
+#include "exp/trial.hh"
+#include "sim/arrivals.hh"
+#include "sim/fleet.hh"
+
+namespace puffer::exp {
+
+/// A randomized trial executed as a fleet: the same schemes, scenario, RCT
+/// assignment and session plans as run_trial(config.trial), but with
+/// sessions arriving per `arrivals` and interleaved concurrently on one
+/// virtual timeline by sim::FleetEngine.
+///
+/// Determinism contract: sessions are mutually independent (each has its
+/// own path, TCP connection, viewer and per-session RNG), so the fleet's
+/// interleaving cannot change any session's results — the merged
+/// TrialResult is bit-identical to the session-sequential run_trial at any
+/// thread count, with or without coalesced inference. What the fleet adds
+/// is the load dimension: a concurrency time series and fused-GEMM batched
+/// inference across concurrently-deciding sessions.
+struct FleetTrialConfig {
+  TrialConfig trial;           ///< trial.num_threads drives the engine too
+  sim::ArrivalSpec arrivals;   ///< session-arrival process on virtual time
+  bool coalesce_inference = true;
+  int max_coalesced_sessions = 64;
+  double coalesce_window_s = 0.25;
+};
+
+struct FleetTrialResult {
+  TrialResult trial;        ///< same shape as run_trial — directly comparable
+  sim::FleetRunStats fleet;  ///< load series + batching counters
+};
+
+FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
+                                 const SchemeArtifacts& artifacts);
+FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
+                                 const SchemeFactory& factory);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_FLEET_TRIAL_HH

@@ -24,34 +24,6 @@ int64_t chunk_size_for(const int64_t total_sessions, const int num_threads) {
   return std::clamp<int64_t>(total_sessions / target_chunks, 1, 64);
 }
 
-// Tripwire for the field-by-field merge below: if ConsortCounts grows a
-// field, this forces whoever adds it to extend append_partial (a missed
-// field would silently zero it on parallel runs only, breaking the
-// bit-identity guarantee). SchemeResult's container members have
-// platform-dependent sizes, so keep its member list in sync by hand:
-// scheme, considered, session_durations_s, consort, logs.
-static_assert(sizeof(ConsortCounts) == 7 * sizeof(int64_t),
-              "ConsortCounts changed: update append_partial and "
-              "tests/test_parallel_trial.cc accordingly");
-
-void append_partial(SchemeResult& into, SchemeResult& from) {
-  into.considered.insert(into.considered.end(),
-                         std::make_move_iterator(from.considered.begin()),
-                         std::make_move_iterator(from.considered.end()));
-  into.session_durations_s.insert(into.session_durations_s.end(),
-                                  from.session_durations_s.begin(),
-                                  from.session_durations_s.end());
-  into.logs.insert(into.logs.end(), std::make_move_iterator(from.logs.begin()),
-                   std::make_move_iterator(from.logs.end()));
-  into.consort.sessions += from.consort.sessions;
-  into.consort.streams += from.consort.streams;
-  into.consort.never_began += from.consort.never_began;
-  into.consort.under_min_watch += from.consort.under_min_watch;
-  into.consort.decoder_failure += from.consort.decoder_failure;
-  into.consort.truncated += from.consort.truncated;
-  into.consort.considered += from.consort.considered;
-}
-
 }  // namespace
 
 ParallelTrialRunner::ParallelTrialRunner(const int num_threads)
@@ -143,7 +115,7 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
   trial.schemes = detail::empty_scheme_results(config);
   for (auto& partial : partials) {
     for (size_t a = 0; a < trial.schemes.size(); a++) {
-      append_partial(trial.schemes[a], partial[a]);
+      detail::append_scheme_result(trial.schemes[a], partial[a]);
     }
   }
   return trial;

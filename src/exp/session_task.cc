@@ -1,0 +1,153 @@
+#include "exp/session_task.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "abr/mpc_abr.hh"
+#include "media/channel.hh"
+#include "net/bbr.hh"
+#include "util/require.hh"
+
+namespace puffer::exp {
+
+SessionPlan make_session_plan(Rng& rng, const sim::UserModel& users,
+                              const net::PathGenerator& paths) {
+  SessionPlan plan;
+  plan.session = users.sample_session(rng);
+  double total_intent_s = 0.0;
+  for (int k = 0; k < plan.session.num_streams; k++) {
+    plan.stream_behaviors.push_back(users.sample_stream_behavior(rng));
+    total_intent_s += plan.stream_behaviors.back().watch_intent_s;
+    plan.channels.push_back(static_cast<int>(
+        rng.uniform_int(0, media::kNumChannels - 1)));
+    plan.video_seeds.push_back(rng.engine()());
+  }
+  const double trace_duration_s =
+      std::min(1.25 * total_intent_s + 900.0, 18.0 * 3600.0);
+
+  Rng path_rng = rng.split("path");
+  plan.path = paths.sample_path(path_rng, trace_duration_s);
+  plan.run_seed = rng.engine()();
+  return plan;
+}
+
+SessionTask::SessionTask(const SessionPlan& plan, abr::AbrAlgorithm& algo,
+                         const TrialConfig& config, SchemeResult& result)
+    : plan_(plan), algo_(algo), config_(config), result_(result) {
+  if (auto* mpc = dynamic_cast<abr::MpcAbr*>(&algo_)) {
+    if (auto* batched =
+            dynamic_cast<fugu::BatchTtpPredictor*>(&mpc->predictor())) {
+      batch_predictor_ = batched;
+      mpc_horizon_ = mpc->controller().config().horizon;
+    }
+  }
+}
+
+SessionTask::Step SessionTask::prepare() {
+  if (finished_) {
+    return Step::kDone;
+  }
+  if (!started_) {
+    started_ = true;
+    result_.consort.sessions++;
+    if (plan_.session.incompatible_or_bounce) {
+      // Page loaded but video never played (incompatible browser / bounce).
+      result_.consort.streams++;
+      result_.consort.never_began++;
+      finished_ = true;
+      return Step::kDone;
+    }
+    run_rng_ = Rng{plan_.run_seed};
+    algo_.reset_session();
+    sender_.emplace(*plan_.path, std::make_unique<net::BbrModel>(),
+                    net::TcpSender::default_queue_capacity(*plan_.path));
+    sim::send_preamble(*sender_);
+  }
+  for (;;) {
+    if (stream_index_ >= plan_.session.num_streams) {
+      if (any_considered_) {
+        result_.session_durations_s.push_back(session_duration_s_);
+      }
+      finished_ = true;
+      return Step::kDone;
+    }
+    if (!stream_) {
+      video_.emplace(
+          media::default_channels()[static_cast<size_t>(
+              plan_.channels[static_cast<size_t>(stream_index_)])],
+          plan_.video_seeds[static_cast<size_t>(stream_index_)]);
+      stream_.emplace(*sender_, algo_, *video_, /*first_chunk=*/0,
+                      plan_.stream_behaviors[static_cast<size_t>(stream_index_)],
+                      run_rng_, config_.stream, nullptr);
+    }
+    if (stream_->prepare_chunk()) {
+      return Step::kDecision;
+    }
+    finish_stream();
+  }
+}
+
+bool SessionTask::stage(fugu::TtpInferenceBatch& batch) {
+  if (batch_predictor_ == nullptr) {
+    return false;
+  }
+  batch_predictor_->stage(stream_->observation(), stream_->lookahead(),
+                          mpc_horizon_, batch);
+  return true;
+}
+
+void SessionTask::finish_chunk() {
+  require(stream_.has_value(), "SessionTask: no decision pending");
+  stream_->finish_chunk();
+}
+
+double SessionTask::elapsed_s() const {
+  return sender_.has_value() ? sender_->now() : 0.0;
+}
+
+void SessionTask::finish_stream() {
+  const sim::StreamOutcome outcome = stream_->take_outcome();
+
+  result_.consort.streams++;
+  session_duration_s_ += outcome.wall_time_s;
+
+  if (outcome.decoder_failure) {
+    result_.consort.decoder_failure++;
+  } else if (!outcome.began_playing) {
+    result_.consort.never_began++;
+  } else if (outcome.figures.watch_time_s < config_.min_watch_time_s) {
+    result_.consort.under_min_watch++;
+  } else {
+    result_.consort.considered++;
+    if (run_rng_.bernoulli(0.011)) {
+      result_.consort.truncated++;  // loss of contact; still considered
+    }
+    result_.considered.push_back(outcome.figures);
+    any_considered_ = true;
+  }
+
+  if (config_.collect_logs && outcome.transfer_log.size() >= 2) {
+    fugu::StreamLog log;
+    log.day = config_.day;
+    log.chunks.reserve(outcome.transfer_log.size());
+    for (const auto& entry : outcome.transfer_log) {
+      log.chunks.push_back({entry.size_mb, entry.tx_time_s, entry.tcp_at_send});
+    }
+    result_.logs.push_back(std::move(log));
+  }
+
+  stream_.reset();
+  video_.reset();
+  stream_index_++;
+}
+
+void run_session(const SessionPlan& plan, abr::AbrAlgorithm& algo,
+                 const TrialConfig& config, SchemeResult& result) {
+  SessionTask task{plan, algo, config, result};
+  while (task.prepare() == sim::FleetTask::Step::kDecision) {
+    task.finish_chunk();
+  }
+}
+
+}  // namespace puffer::exp

@@ -1,0 +1,83 @@
+#ifndef PUFFER_EXP_SESSION_TASK_HH
+#define PUFFER_EXP_SESSION_TASK_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exp/trial.hh"
+#include "fugu/batch_ttp.hh"
+#include "net/tcp_sender.hh"
+#include "sim/fleet.hh"
+#include "sim/session.hh"
+
+namespace puffer::exp {
+
+/// Everything that defines a session independent of the assigned scheme —
+/// sampled up front so that paired (emulation-style) runs can replay the
+/// exact same conditions for every scheme, and so the fleet engine can
+/// create a session's task at its arrival time.
+struct SessionPlan {
+  sim::SessionBehavior session;
+  std::vector<sim::UserBehavior> stream_behaviors;
+  std::vector<int> channels;
+  std::vector<uint64_t> video_seeds;
+  std::optional<net::NetworkPath> path;
+  uint64_t run_seed = 0;
+};
+
+SessionPlan make_session_plan(Rng& rng, const sim::UserModel& users,
+                              const net::PathGenerator& paths);
+
+/// One trial session as a resumable task: the session loop the serial trial
+/// path used to run in one call (streams, CONSORT accounting, telemetry
+/// logs), cut at its ABR decision points so the fleet engine can interleave
+/// thousands of sessions on one virtual timeline. The sequential path
+/// drives a task straight to completion (run_session below), so both paths
+/// share one implementation and stay bit-identical by construction.
+///
+/// Non-owning throughout: the plan, algorithm, config and result
+/// accumulator must all outlive the task (the serial driver completes
+/// within the caller's scope; the fleet wrapper owns the plan alongside
+/// the task).
+class SessionTask final : public sim::FleetTask {
+ public:
+  SessionTask(const SessionPlan& plan, abr::AbrAlgorithm& algo,
+              const TrialConfig& config, SchemeResult& result);
+
+  Step prepare() override;
+  bool stage(fugu::TtpInferenceBatch& batch) override;
+  void finish_chunk() override;
+  [[nodiscard]] double elapsed_s() const override;
+
+ private:
+  void finish_stream();
+
+  const SessionPlan& plan_;
+  abr::AbrAlgorithm& algo_;
+  const TrialConfig& config_;
+  SchemeResult& result_;
+
+  // Set when the algorithm is an MpcAbr driven by a BatchTtpPredictor —
+  // the combination whose decisions the fleet engine can coalesce.
+  fugu::BatchTtpPredictor* batch_predictor_ = nullptr;
+  int mpc_horizon_ = 0;
+
+  Rng run_rng_{0};
+  std::optional<net::TcpSender> sender_;
+  std::optional<media::VbrVideoSource> video_;
+  std::optional<sim::StreamSession> stream_;
+  int stream_index_ = 0;
+  double session_duration_s_ = 0.0;
+  bool any_considered_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+/// Drive one session to completion — the serial trial path.
+void run_session(const SessionPlan& plan, abr::AbrAlgorithm& algo,
+                 const TrialConfig& config, SchemeResult& result);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_SESSION_TASK_HH

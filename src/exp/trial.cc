@@ -1,117 +1,14 @@
 #include "exp/trial.hh"
 
 #include <algorithm>
-#include <optional>
+#include <iterator>
 
 #include "exp/parallel_trial.hh"
-#include "media/channel.hh"
-#include "net/bbr.hh"
+#include "exp/session_task.hh"
 #include "net/scenario.hh"
 #include "util/require.hh"
 
 namespace puffer::exp {
-
-namespace {
-
-/// Everything that defines a session independent of the assigned scheme —
-/// sampled up front so that paired (emulation-style) runs can replay the
-/// exact same conditions for every scheme.
-struct SessionPlan {
-  sim::SessionBehavior session;
-  std::vector<sim::UserBehavior> stream_behaviors;
-  std::vector<int> channels;
-  std::vector<uint64_t> video_seeds;
-  std::optional<net::NetworkPath> path;
-  uint64_t run_seed = 0;
-};
-
-SessionPlan make_plan(Rng& rng, const sim::UserModel& users,
-                      const net::PathGenerator& paths) {
-  SessionPlan plan;
-  plan.session = users.sample_session(rng);
-  double total_intent_s = 0.0;
-  for (int k = 0; k < plan.session.num_streams; k++) {
-    plan.stream_behaviors.push_back(users.sample_stream_behavior(rng));
-    total_intent_s += plan.stream_behaviors.back().watch_intent_s;
-    plan.channels.push_back(static_cast<int>(
-        rng.uniform_int(0, media::kNumChannels - 1)));
-    plan.video_seeds.push_back(rng.engine()());
-  }
-  const double trace_duration_s =
-      std::min(1.25 * total_intent_s + 900.0, 18.0 * 3600.0);
-
-  Rng path_rng = rng.split("path");
-  plan.path = paths.sample_path(path_rng, trace_duration_s);
-  plan.run_seed = rng.engine()();
-  return plan;
-}
-
-/// Run one session with one scheme; appends results.
-void run_session(const SessionPlan& plan, abr::AbrAlgorithm& algo,
-                 SchemeResult& result, const TrialConfig& config) {
-  result.consort.sessions++;
-
-  if (plan.session.incompatible_or_bounce) {
-    // Page loaded but video never played (incompatible browser / bounce).
-    result.consort.streams++;
-    result.consort.never_began++;
-    return;
-  }
-
-  Rng run_rng{plan.run_seed};
-  algo.reset_session();
-  net::TcpSender sender{*plan.path, std::make_unique<net::BbrModel>(),
-                        net::TcpSender::default_queue_capacity(*plan.path)};
-  sim::send_preamble(sender);
-
-  double session_duration_s = 0.0;
-  bool any_considered = false;
-
-  for (int k = 0; k < plan.session.num_streams; k++) {
-    media::VbrVideoSource video{
-        media::default_channels()[static_cast<size_t>(
-            plan.channels[static_cast<size_t>(k)])],
-        plan.video_seeds[static_cast<size_t>(k)]};
-
-    const sim::StreamOutcome outcome = sim::run_stream(
-        sender, algo, video, /*first_chunk=*/0,
-        plan.stream_behaviors[static_cast<size_t>(k)], run_rng, config.stream);
-
-    result.consort.streams++;
-    session_duration_s += outcome.wall_time_s;
-
-    if (outcome.decoder_failure) {
-      result.consort.decoder_failure++;
-    } else if (!outcome.began_playing) {
-      result.consort.never_began++;
-    } else if (outcome.figures.watch_time_s < config.min_watch_time_s) {
-      result.consort.under_min_watch++;
-    } else {
-      result.consort.considered++;
-      if (run_rng.bernoulli(0.011)) {
-        result.consort.truncated++;  // loss of contact; still considered
-      }
-      result.considered.push_back(outcome.figures);
-      any_considered = true;
-    }
-
-    if (config.collect_logs && outcome.transfer_log.size() >= 2) {
-      fugu::StreamLog log;
-      log.day = config.day;
-      log.chunks.reserve(outcome.transfer_log.size());
-      for (const auto& entry : outcome.transfer_log) {
-        log.chunks.push_back({entry.size_mb, entry.tx_time_s, entry.tcp_at_send});
-      }
-      result.logs.push_back(std::move(log));
-    }
-  }
-
-  if (any_considered) {
-    result.session_durations_s.push_back(session_duration_s);
-  }
-}
-
-}  // namespace
 
 std::vector<stats::StreamFigures> SchemeResult::slow_paths(
     const double threshold_mbps) const {
@@ -144,6 +41,16 @@ int64_t num_session_plans(const TrialConfig& config) {
          (config.paired_paths ? 1
                               : static_cast<int64_t>(config.schemes.size()));
 }
+
+// Tripwire for the field-by-field merge in append_scheme_result: if
+// ConsortCounts grows a field, this forces whoever adds it to extend the
+// merge (a missed field would silently zero it on partial-result runs only,
+// breaking the bit-identity guarantee). SchemeResult's container members
+// have platform-dependent sizes, so keep its member list in sync by hand:
+// scheme, considered, session_durations_s, consort, logs.
+static_assert(sizeof(ConsortCounts) == 7 * sizeof(int64_t),
+              "ConsortCounts changed: update append_scheme_result and "
+              "tests/test_parallel_trial.cc accordingly");
 
 std::vector<SchemeResult> empty_scheme_results(const TrialConfig& config) {
   std::vector<SchemeResult> results;
@@ -179,20 +86,38 @@ void run_session_range(
 
   for (int64_t s = begin; s < end; s++) {
     Rng session_rng = master.split(static_cast<uint64_t>(s));
-    SessionPlan plan = make_plan(session_rng, users, paths);
+    SessionPlan plan = make_session_plan(session_rng, users, paths);
 
     if (config.paired_paths) {
       // Emulation-style: every scheme experiences the identical session.
       for (size_t a = 0; a < num_schemes; a++) {
-        run_session(plan, *algorithms[a], results[a], config);
+        run_session(plan, *algorithms[a], config, results[a]);
       }
     } else {
       // RCT: blinded random assignment of the session to one scheme.
       const auto a = static_cast<size_t>(session_rng.uniform_int(
           0, static_cast<int64_t>(num_schemes) - 1));
-      run_session(plan, *algorithms[a], results[a], config);
+      run_session(plan, *algorithms[a], config, results[a]);
     }
   }
+}
+
+void append_scheme_result(SchemeResult& into, SchemeResult& from) {
+  into.considered.insert(into.considered.end(),
+                         std::make_move_iterator(from.considered.begin()),
+                         std::make_move_iterator(from.considered.end()));
+  into.session_durations_s.insert(into.session_durations_s.end(),
+                                  from.session_durations_s.begin(),
+                                  from.session_durations_s.end());
+  into.logs.insert(into.logs.end(), std::make_move_iterator(from.logs.begin()),
+                   std::make_move_iterator(from.logs.end()));
+  into.consort.sessions += from.consort.sessions;
+  into.consort.streams += from.consort.streams;
+  into.consort.never_began += from.consort.never_began;
+  into.consort.under_min_watch += from.consort.under_min_watch;
+  into.consort.decoder_failure += from.consort.decoder_failure;
+  into.consort.truncated += from.consort.truncated;
+  into.consort.considered += from.consort.considered;
 }
 
 }  // namespace detail

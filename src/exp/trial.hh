@@ -88,7 +88,8 @@ TrialResult run_trial(const TrialConfig& config, const SchemeFactory& factory);
 
 namespace detail {
 
-/// Internal plumbing shared between the serial path and ParallelTrialRunner.
+/// Internal plumbing shared between the serial path, ParallelTrialRunner
+/// and the fleet trial runner.
 
 /// Number of session plans the trial draws (paired mode replays each plan
 /// for every scheme; RCT mode assigns each plan to exactly one scheme).
@@ -116,6 +117,12 @@ void run_session_range(
     const Rng& master, const sim::UserModel& users,
     std::span<const std::unique_ptr<abr::AbrAlgorithm>> algorithms,
     int64_t begin, int64_t end, std::vector<SchemeResult>& results);
+
+/// Merge one partial per-scheme accumulator into `into`, preserving the
+/// order of `from`'s entries. Partial-result runners (parallel chunks,
+/// fleet sessions) merge in ascending session order so the combined result
+/// is bit-identical to the serial loop.
+void append_scheme_result(SchemeResult& into, SchemeResult& from);
 
 }  // namespace detail
 

@@ -1,6 +1,6 @@
 #include "fugu/fugu.hh"
 
-#include "fugu/ttp_predictor.hh"
+#include "fugu/batch_ttp.hh"
 
 namespace puffer::fugu {
 
@@ -8,8 +8,11 @@ std::unique_ptr<abr::MpcAbr> make_fugu(std::shared_ptr<const TtpModel> model,
                                        std::string name,
                                        const bool point_estimate,
                                        const abr::MpcConfig mpc_config) {
+  // The batched predictor answers every deployment the scalar TtpPredictor
+  // used to, bit-identically, with one fused forward pass per step-network
+  // per decision (and one per fleet batch inside the fleet engine).
   auto predictor =
-      std::make_unique<TtpPredictor>(std::move(model), point_estimate);
+      std::make_unique<BatchTtpPredictor>(std::move(model), point_estimate);
   return std::make_unique<abr::MpcAbr>(std::move(name), std::move(predictor),
                                        mpc_config);
 }

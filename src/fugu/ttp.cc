@@ -111,6 +111,15 @@ std::vector<float> ttp_featurize(const TtpConfig& config,
                                  const net::TcpInfo& tcp,
                                  const int64_t proposed_size_bytes) {
   std::vector<float> features;
+  ttp_featurize_into(config, history, tcp, proposed_size_bytes, features);
+  return features;
+}
+
+void ttp_featurize_into(const TtpConfig& config, const TtpHistory& history,
+                        const net::TcpInfo& tcp,
+                        const int64_t proposed_size_bytes,
+                        std::vector<float>& features) {
+  features.clear();
   features.reserve(static_cast<size_t>(config.input_dim()));
 
   // Past chunk sizes (oldest first, left-padded with zeros).
@@ -157,7 +166,41 @@ std::vector<float> ttp_featurize(const TtpConfig& config,
   }
   require(features.size() == static_cast<size_t>(config.input_dim()),
           "ttp_featurize: dimension mismatch");
-  return features;
+}
+
+abr::TxTimeDistribution ttp_distribution_of(const TtpConfig& config,
+                                            const std::span<const float> probs,
+                                            const int64_t proposed_size_bytes) {
+  require(probs.size() == static_cast<size_t>(kTtpBins),
+          "ttp_distribution_of: wrong bin count");
+  abr::TxTimeDistribution dist;
+  dist.reserve(kTtpBins);
+  for (int bin = 0; bin < kTtpBins; bin++) {
+    double time_s;
+    if (config.target == TtpTarget::kTransmissionTime) {
+      time_s = ttp_bin_midpoint(bin);
+    } else {
+      // Throughput ablation: convert a throughput outcome to a transmission
+      // time via t = size / throughput (linear in size, which is exactly the
+      // modeling deficiency the paper calls out).
+      time_s = static_cast<double>(proposed_size_bytes) /
+               throughput_bin_midpoint_bps(bin);
+      time_s = std::clamp(time_s, 1e-3, 60.0);
+    }
+    dist.push_back(
+        {time_s, static_cast<double>(probs[static_cast<size_t>(bin)])});
+  }
+  return dist;
+}
+
+abr::TxTimeDistribution point_estimate_of(const abr::TxTimeDistribution& dist) {
+  require(!dist.empty(), "point_estimate_of: empty distribution");
+  const auto best = std::max_element(
+      dist.begin(), dist.end(),
+      [](const abr::TxTimeOutcome& a, const abr::TxTimeOutcome& b) {
+        return a.probability < b.probability;
+      });
+  return {abr::TxTimeOutcome{best->time_s, 1.0}};
 }
 
 int ttp_label_of(const TtpConfig& config, const double tx_time_s,
@@ -177,9 +220,18 @@ std::vector<float> TtpModel::featurize(const TtpHistory& history,
 
 std::vector<float> TtpModel::predict_bins(
     const int step, const std::vector<float>& features) const {
+  nn::ForwardScratch scratch;
+  const std::span<const float> probs = predict_bins(step, features, scratch);
+  return {probs.begin(), probs.end()};
+}
+
+std::span<const float> TtpModel::predict_bins(
+    const int step, const std::span<const float> features,
+    nn::ForwardScratch& scratch) const {
   const int clamped_step = std::clamp(step, 0, config_.horizon - 1);
-  std::vector<float> logits =
-      networks_[static_cast<size_t>(clamped_step)].forward_one(features);
+  const std::span<float> logits =
+      networks_[static_cast<size_t>(clamped_step)].forward_one(features,
+                                                               scratch);
   nn::softmax_inplace(logits);
   return logits;
 }
@@ -187,27 +239,18 @@ std::vector<float> TtpModel::predict_bins(
 abr::TxTimeDistribution TtpModel::predict_tx_time(
     const int step, const TtpHistory& history, const net::TcpInfo& tcp,
     const int64_t proposed_size_bytes) const {
-  const std::vector<float> features =
-      featurize(history, tcp, proposed_size_bytes);
-  const std::vector<float> probs = predict_bins(step, features);
+  TtpScratch scratch;
+  return predict_tx_time(step, history, tcp, proposed_size_bytes, scratch);
+}
 
-  abr::TxTimeDistribution dist;
-  dist.reserve(kTtpBins);
-  for (int bin = 0; bin < kTtpBins; bin++) {
-    double time_s;
-    if (config_.target == TtpTarget::kTransmissionTime) {
-      time_s = ttp_bin_midpoint(bin);
-    } else {
-      // Throughput ablation: convert a throughput outcome to a transmission
-      // time via t = size / throughput (linear in size, which is exactly the
-      // modeling deficiency the paper calls out).
-      time_s = static_cast<double>(proposed_size_bytes) /
-               throughput_bin_midpoint_bps(bin);
-      time_s = std::clamp(time_s, 1e-3, 60.0);
-    }
-    dist.push_back({time_s, static_cast<double>(probs[static_cast<size_t>(bin)])});
-  }
-  return dist;
+abr::TxTimeDistribution TtpModel::predict_tx_time(
+    const int step, const TtpHistory& history, const net::TcpInfo& tcp,
+    const int64_t proposed_size_bytes, TtpScratch& scratch) const {
+  ttp_featurize_into(config_, history, tcp, proposed_size_bytes,
+                     scratch.features);
+  const std::span<const float> probs =
+      predict_bins(step, scratch.features, scratch.forward);
+  return ttp_distribution_of(config_, probs, proposed_size_bytes);
 }
 
 int TtpModel::label_of(const double tx_time_s, const double size_mb) const {

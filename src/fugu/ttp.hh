@@ -65,8 +65,31 @@ std::vector<float> ttp_featurize(const TtpConfig& config,
                                  const net::TcpInfo& tcp,
                                  int64_t proposed_size_bytes);
 
+/// Same, into a caller-owned buffer — the allocation-free form the per-chunk
+/// hot paths use (`out` is cleared and refilled, keeping its capacity).
+void ttp_featurize_into(const TtpConfig& config, const TtpHistory& history,
+                        const net::TcpInfo& tcp, int64_t proposed_size_bytes,
+                        std::vector<float>& out);
+
+/// Convert one post-softmax bin row into a transmission-time distribution
+/// (handling the throughput-ablation conversion t = size / throughput).
+abr::TxTimeDistribution ttp_distribution_of(const TtpConfig& config,
+                                            std::span<const float> probs,
+                                            int64_t proposed_size_bytes);
+
+/// Collapse a distribution to its max-likelihood outcome — the paper's
+/// "Point Estimate" ablation (section 4.6).
+abr::TxTimeDistribution point_estimate_of(const abr::TxTimeDistribution& dist);
+
 /// Training label for an observed transfer under a given config.
 int ttp_label_of(const TtpConfig& config, double tx_time_s, double size_mb);
+
+/// Reusable buffers for repeated single-row TTP inference (the legacy
+/// scalar path; the batched path keeps its buffers in TtpInferenceBatch).
+struct TtpScratch {
+  std::vector<float> features;
+  nn::ForwardScratch forward;
+};
 
 /// The Transmission Time Predictor: `horizon` fully-connected networks, one
 /// per future step, each mapping (past chunk sizes, past transmission times,
@@ -87,11 +110,25 @@ class TtpModel {
   [[nodiscard]] std::vector<float> predict_bins(
       int step, const std::vector<float>& features) const;
 
+  /// Scratch-reusing variant: no allocation once `scratch` has warmed to
+  /// shape. The returned span aliases the scratch and is valid until its
+  /// next use; values are bit-identical to the allocating overload.
+  std::span<const float> predict_bins(int step,
+                                      std::span<const float> features,
+                                      nn::ForwardScratch& scratch) const;
+
   /// Distribution over transmission times for a proposed chunk, already
   /// converted from bins (and from throughput bins for the ablation).
   [[nodiscard]] abr::TxTimeDistribution predict_tx_time(
       int step, const TtpHistory& history, const net::TcpInfo& tcp,
       int64_t proposed_size_bytes) const;
+
+  /// Scratch-reusing variant of predict_tx_time (the per-chunk hot path of
+  /// the scalar TtpPredictor).
+  abr::TxTimeDistribution predict_tx_time(int step, const TtpHistory& history,
+                                          const net::TcpInfo& tcp,
+                                          int64_t proposed_size_bytes,
+                                          TtpScratch& scratch) const;
 
   [[nodiscard]] int label_of(double tx_time_s, double size_mb) const;
 

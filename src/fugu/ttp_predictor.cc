@@ -19,15 +19,10 @@ void TtpPredictor::begin_decision(const abr::AbrObservation& obs) {
 abr::TxTimeDistribution TtpPredictor::predict(const int step,
                                               const int64_t size_bytes) {
   abr::TxTimeDistribution dist =
-      model_->predict_tx_time(step, history_, current_tcp_, size_bytes);
+      model_->predict_tx_time(step, history_, current_tcp_, size_bytes,
+                              scratch_);
   if (point_estimate_) {
-    const auto best =
-        std::max_element(dist.begin(), dist.end(),
-                         [](const abr::TxTimeOutcome& a,
-                            const abr::TxTimeOutcome& b) {
-                           return a.probability < b.probability;
-                         });
-    return {abr::TxTimeOutcome{best->time_s, 1.0}};
+    return point_estimate_of(dist);
   }
   return dist;
 }

@@ -33,6 +33,7 @@ class TtpPredictor final : public abr::TxTimePredictor {
   bool point_estimate_;
   TtpHistory history_;
   net::TcpInfo current_tcp_;
+  TtpScratch scratch_;  ///< reused across predict() calls (no per-call alloc)
 };
 
 }  // namespace puffer::fugu

@@ -1,5 +1,6 @@
 #include "nn/mlp.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/require.hh"
@@ -74,29 +75,41 @@ void relu_inplace(Matrix& m) {
 }  // namespace
 
 void Mlp::forward(const Matrix& input, Matrix& logits) const {
+  Matrix scratch;
+  forward(input, logits, scratch);
+}
+
+void Mlp::forward(const Matrix& input, Matrix& logits, Matrix& scratch) const {
   require(input.cols() == input_size(), "Mlp::forward: input width mismatch");
-  Matrix current = input;
-  Matrix next;
+  require(&input != &logits && &input != &scratch && &logits != &scratch,
+          "Mlp::forward: input, logits and scratch must be distinct");
+  const Matrix* src = &input;
   for (size_t l = 0; l < weights_.size(); l++) {
-    matmul(current, weights_[l], next);
-    add_row_bias(next, biases_[l]);
+    // Alternate destinations so the last layer's write lands in `logits`.
+    const size_t layers_after = weights_.size() - 1 - l;
+    Matrix* dst = (layers_after % 2 == 0) ? &logits : &scratch;
+    matmul(*src, weights_[l], *dst);
+    add_row_bias(*dst, biases_[l]);
     if (l + 1 < weights_.size()) {
-      relu_inplace(next);
+      relu_inplace(*dst);
     }
-    std::swap(current, next);
+    src = dst;
   }
-  logits = std::move(current);
 }
 
 std::vector<float> Mlp::forward_one(const std::span<const float> input) const {
+  ForwardScratch scratch;
+  const std::span<const float> logits = forward_one(input, scratch);
+  return {logits.begin(), logits.end()};
+}
+
+std::span<float> Mlp::forward_one(const std::span<const float> input,
+                                  ForwardScratch& scratch) const {
   require(input.size() == input_size(), "Mlp::forward_one: width mismatch");
-  Matrix batch{1, input_size()};
-  for (size_t i = 0; i < input.size(); i++) {
-    batch.at(0, i) = input[i];
-  }
-  Matrix logits;
-  forward(batch, logits);
-  return {logits.data(), logits.data() + logits.cols()};
+  scratch.input.resize(1, input_size());
+  std::copy(input.begin(), input.end(), scratch.input.data());
+  forward(scratch.input, scratch.logits, scratch.hidden);
+  return scratch.logits.row(0);
 }
 
 void Mlp::forward_tape(const Matrix& input, Tape& tape) const {

@@ -26,6 +26,16 @@ struct Tape {
   std::vector<Matrix> activations;
 };
 
+/// Reusable buffers for repeated inference. Matrix::resize keeps capacity,
+/// so after the first call at a given shape no further allocation happens —
+/// this is what keeps the per-decision hot paths (TTP, Pensieve actor)
+/// allocation-free.
+struct ForwardScratch {
+  Matrix input;   ///< 1 x input staging row for forward_one
+  Matrix logits;  ///< final layer output
+  Matrix hidden;  ///< ping-pong buffer for intermediate activations
+};
+
 /// Fully-connected network with ReLU hidden activations and a linear output
 /// layer (logits). This mirrors the paper's TTP: 22 -> 64 -> 64 -> 21, and is
 /// also used for the Pensieve actor/critic networks.
@@ -46,8 +56,21 @@ class Mlp {
   /// Inference: compute logits for a batch. `logits` is resized.
   void forward(const Matrix& input, Matrix& logits) const;
 
+  /// Same, ping-ponging intermediate activations between `logits` and the
+  /// caller-owned `scratch` buffer: zero allocation once both have warmed
+  /// to shape. Per-row results are bit-identical to forward()/forward_one()
+  /// (every output row accumulates in the same order regardless of batch
+  /// size or destination buffer).
+  void forward(const Matrix& input, Matrix& logits, Matrix& scratch) const;
+
   /// Convenience single-example inference.
   [[nodiscard]] std::vector<float> forward_one(std::span<const float> input) const;
+
+  /// Scratch-reusing single-example inference; the returned span aliases
+  /// scratch.logits and stays valid until the scratch is next used. The
+  /// span is mutable so callers can softmax in place.
+  std::span<float> forward_one(std::span<const float> input,
+                               ForwardScratch& scratch) const;
 
   /// Training forward pass: records activations in `tape`, leaves logits in
   /// tape.activations.back().

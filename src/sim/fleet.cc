@@ -1,0 +1,190 @@
+#include "sim/fleet.hh"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "fugu/batch_ttp.hh"
+#include "util/require.hh"
+#include "util/thread_pool.hh"
+
+namespace puffer::sim {
+
+namespace {
+
+/// A session parked at a decision, due on the global timeline at `time_s`.
+/// Ties break on session index so the queue pop order — and therefore
+/// batch membership — is a pure function of the event set.
+struct Event {
+  double time_s = 0.0;
+  int64_t session = 0;
+
+  bool operator>(const Event& other) const {
+    if (time_s != other.time_s) {
+      return time_s > other.time_s;
+    }
+    return session > other.session;
+  }
+};
+
+using EventQueue =
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+}  // namespace
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+  require(config_.max_coalesced_sessions >= 1,
+          "FleetEngine: max_coalesced_sessions must be >= 1");
+  require(config_.coalesce_window_s >= 0.0,
+          "FleetEngine: coalesce window must be >= 0");
+}
+
+FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
+                               const TaskFactory& factory) const {
+  for (size_t i = 0; i + 1 < arrivals.size(); i++) {
+    require(arrivals[i] <= arrivals[i + 1],
+            "FleetEngine: arrivals must be sorted ascending");
+  }
+  const int workers = std::max(
+      1, config_.num_threads <= 0 ? ThreadPool::hardware_threads()
+                                  : config_.num_threads);
+
+  FleetRunStats stats;
+  std::vector<std::unique_ptr<FleetTask>> tasks(arrivals.size());
+  std::vector<double> arrival_time(arrivals.size(), 0.0);
+  EventQueue queue;
+  size_t next_arrival = 0;
+
+  fugu::TtpInferenceBatch shared_batch;
+  std::vector<Event> batch;
+  std::vector<char> staged;       // per batch entry: rows went to shared_batch
+  std::vector<char> completed;    // per batch entry: task finished
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) {
+    pool = std::make_unique<ThreadPool>(workers);
+  }
+
+  // Start (or finish) a freshly-arrived or freshly-resumed task; returns
+  // true if the session completed.
+  const auto schedule_or_complete = [&](const int64_t id) {
+    FleetTask& task = *tasks[static_cast<size_t>(id)];
+    if (task.prepare() == FleetTask::Step::kDecision) {
+      queue.push(Event{arrival_time[static_cast<size_t>(id)] + task.elapsed_s(),
+                       id});
+      return false;
+    }
+    const double end_time =
+        arrival_time[static_cast<size_t>(id)] + task.elapsed_s();
+    stats.load.add(end_time, -1);
+    stats.virtual_duration_s = std::max(stats.virtual_duration_s, end_time);
+    tasks[static_cast<size_t>(id)].reset();
+    return true;
+  };
+
+  while (!queue.empty() || next_arrival < arrivals.size()) {
+    // Admit every arrival due before the next pending decision.
+    if (!queue.empty() && next_arrival < arrivals.size() &&
+        arrivals[next_arrival] > queue.top().time_s) {
+      // fall through to decision processing
+    } else if (next_arrival < arrivals.size()) {
+      const auto id = static_cast<int64_t>(next_arrival);
+      const double t = arrivals[next_arrival];
+      next_arrival++;
+      tasks[static_cast<size_t>(id)] = factory(id);
+      require(tasks[static_cast<size_t>(id)] != nullptr,
+              "FleetEngine: factory returned null");
+      arrival_time[static_cast<size_t>(id)] = t;
+      stats.sessions++;
+      stats.load.add(t, +1);
+      stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
+      schedule_or_complete(id);
+      continue;
+    }
+
+    // Gather a batch of near-simultaneous decisions. Tasks are independent,
+    // so fusing any subset is sound; the cap and window only shape how much
+    // is fused, never the per-session results.
+    batch.clear();
+    batch.push_back(queue.top());
+    queue.pop();
+    const double window_end = batch.front().time_s + config_.coalesce_window_s;
+    while (!queue.empty() && queue.top().time_s <= window_end &&
+           batch.size() <
+               static_cast<size_t>(config_.max_coalesced_sessions)) {
+      batch.push_back(queue.top());
+      queue.pop();
+    }
+
+    // Phase A (serial): stage batchable decisions into the shared batch in
+    // deterministic batch order.
+    shared_batch.clear();
+    staged.assign(batch.size(), 0);
+    if (config_.coalesce_inference) {
+      const int64_t rows_before = shared_batch.total_rows();
+      const int64_t forwards_before = shared_batch.total_forward_calls();
+      for (size_t i = 0; i < batch.size(); i++) {
+        staged[i] = tasks[static_cast<size_t>(batch[i].session)]->stage(
+                        shared_batch)
+                        ? 1
+                        : 0;
+      }
+      // Phase B: one fused forward pass per (model, step) group across
+      // every staged session.
+      if (shared_batch.rows_pending() > 0) {
+        shared_batch.run();
+      }
+      stats.coalesced_rows += shared_batch.total_rows() - rows_before;
+      stats.gemm_calls += shared_batch.total_forward_calls() - forwards_before;
+    }
+
+    // Phase C (parallel): complete each decision and advance its session to
+    // the next decision point. Tasks only touch their own state and read
+    // the shared batch, so any thread assignment is bit-identical.
+    completed.assign(batch.size(), 0);
+    const auto process = [&](const size_t i) {
+      FleetTask& task = *tasks[static_cast<size_t>(batch[i].session)];
+      task.finish_chunk();
+      completed[i] = task.prepare() == FleetTask::Step::kDone ? 1 : 0;
+    };
+    if (pool != nullptr && batch.size() > 1) {
+      for (int w = 0; w < workers; w++) {
+        pool->submit([&, w] {
+          for (size_t i = static_cast<size_t>(w); i < batch.size();
+               i += static_cast<size_t>(workers)) {
+            process(i);
+          }
+        });
+      }
+      pool->wait();
+    } else {
+      for (size_t i = 0; i < batch.size(); i++) {
+        process(i);
+      }
+    }
+
+    // Phase D (serial, batch order): record bookkeeping and requeue.
+    for (size_t i = 0; i < batch.size(); i++) {
+      const int64_t id = batch[i].session;
+      stats.decisions++;
+      if (staged[i] == 0) {
+        stats.inline_decisions++;
+      }
+      const double t =
+          arrival_time[static_cast<size_t>(id)] +
+          tasks[static_cast<size_t>(id)]->elapsed_s();
+      stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
+      if (completed[i] != 0) {
+        stats.load.add(t, -1);
+        tasks[static_cast<size_t>(id)].reset();
+      } else {
+        queue.push(Event{t, id});
+      }
+    }
+  }
+
+  stats.load.finalize();
+  return stats;
+}
+
+}  // namespace puffer::sim

@@ -1,0 +1,107 @@
+#ifndef PUFFER_SIM_FLEET_HH
+#define PUFFER_SIM_FLEET_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "stats/load_series.hh"
+
+namespace puffer::fugu {
+class TtpInferenceBatch;
+}  // namespace puffer::fugu
+
+namespace puffer::sim {
+
+/// One unit of fleet work: a session advanced decision-by-decision. The
+/// engine holds each task from its arrival until prepare() reports
+/// completion; between those, every call sequence is
+///   prepare() -> [stage()] -> finish_chunk() -> prepare() -> ...
+/// Tasks must be mutually independent (no shared mutable state): that is
+/// what makes the fleet interleaving — and its thread count — unable to
+/// affect any task's results.
+class FleetTask {
+ public:
+  enum class Step {
+    kDecision,  ///< parked at an ABR decision; finish_chunk() completes it
+    kDone,      ///< session over; the engine records completion and drops it
+  };
+
+  virtual ~FleetTask() = default;
+
+  /// Advance to the next ABR decision point or to completion.
+  virtual Step prepare() = 0;
+
+  /// If this task's ABR scheme supports fused inference, stage the pending
+  /// decision's feature rows into `batch` and return true; the engine then
+  /// runs the batch before finish_chunk(). Return false to run inference
+  /// inline inside finish_chunk().
+  virtual bool stage(fugu::TtpInferenceBatch& batch) = 0;
+
+  /// Complete the decision prepare() parked at (ABR choice + transfer).
+  virtual void finish_chunk() = 0;
+
+  /// Session-local elapsed virtual time; the engine maps it to the global
+  /// timeline as arrival_time + elapsed_s().
+  [[nodiscard]] virtual double elapsed_s() const = 0;
+};
+
+struct FleetConfig {
+  /// Worker threads for processing a batch of decisions. 0 = all hardware
+  /// threads. Any value yields bit-identical results: tasks are
+  /// independent, batch membership is determined by the (deterministic)
+  /// event queue alone, and results land in pre-indexed slots.
+  int num_threads = 1;
+  /// Fuse TTP inference of concurrently-deciding sessions into shared
+  /// GEMMs. Off, every decision still uses its scheme's own (per-decision
+  /// batched) path; results are identical either way.
+  bool coalesce_inference = true;
+  /// Cap on decisions fused into one batch.
+  int max_coalesced_sessions = 64;
+  /// Only decisions within this much virtual time of the earliest pending
+  /// one are fused together (keeps "concurrently deciding" honest).
+  double coalesce_window_s = 0.25;
+};
+
+/// What a fleet run measured about itself.
+struct FleetRunStats {
+  int64_t sessions = 0;          ///< tasks created (= arrivals consumed)
+  int64_t decisions = 0;         ///< chunk decisions processed
+  int64_t coalesced_rows = 0;    ///< TTP rows answered via shared batches
+  int64_t gemm_calls = 0;        ///< fused forward passes run
+  int64_t inline_decisions = 0;  ///< decisions that ran inference inline
+  double virtual_duration_s = 0.0;  ///< global time of the last event
+  stats::LoadSeries load;  ///< concurrent sessions over virtual time
+};
+
+/// Discrete-event fleet scheduler: interleaves thousands of concurrent
+/// sessions on one virtual timeline via a global event queue — the
+/// simulated counterpart of Puffer's ~100-sessions-day-and-night deployment
+/// (Figure 2) instead of the one-stream-at-a-time trial loop. Sessions
+/// arrive per an ArrivalProcess-sampled schedule, progress one chunk
+/// decision per event, and (when coalescing is on) have the TTP inference
+/// of near-simultaneous decisions fused into single GEMMs.
+class FleetEngine {
+ public:
+  /// Invoked once per arrival, in arrival order, to build session
+  /// `session_index`'s task. Must not return null.
+  using TaskFactory = std::function<std::unique_ptr<FleetTask>(int64_t)>;
+
+  explicit FleetEngine(FleetConfig config = {});
+
+  /// Run one task per entry of `arrivals` (ascending global arrival
+  /// times). Returns the run's statistics; per-session results are
+  /// wherever the factory's tasks wrote them.
+  FleetRunStats run(std::span<const double> arrivals,
+                    const TaskFactory& factory) const;
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace puffer::sim
+
+#endif  // PUFFER_SIM_FLEET_HH

@@ -9,6 +9,7 @@
 #include "net/tcp_sender.hh"
 #include "sim/user_model.hh"
 #include "stats/summary.hh"
+#include "util/running_stats.hh"
 
 namespace puffer::sim {
 
@@ -68,6 +69,80 @@ class StreamObserver {
   /// simulator reports at chunk granularity).
   virtual void on_client_buffer(double time_s, const char* event,
                                 double buffer_s, double cum_rebuffer_s) = 0;
+};
+
+/// One stream as a resumable state machine: the streaming loop of
+/// run_stream() cut at its ABR decision points, so a caller can interleave
+/// thousands of streams on one virtual timeline (the fleet engine) or fuse
+/// the inference of many concurrently-deciding streams into one batch.
+///
+/// Protocol: while (prepare_chunk()) finish_chunk(); then take_outcome().
+/// Between a true prepare_chunk() and the matching finish_chunk() the
+/// observation and lookahead for the pending decision are exposed, which is
+/// where the fleet engine stages batched TTP rows. Driving the machine to
+/// completion in one loop is exactly run_stream() — same operations on the
+/// sender, ABR scheme and RNG in the same order, so outcomes are
+/// bit-identical to the historical single-call loop.
+///
+/// Holds references to everything passed in; they must outlive the session.
+class StreamSession {
+ public:
+  StreamSession(net::TcpSender& sender, abr::AbrAlgorithm& abr,
+                media::VbrVideoSource& video, int64_t first_chunk,
+                const UserBehavior& user, Rng& rng,
+                const StreamRunConfig& config = {},
+                StreamObserver* observer = nullptr);
+
+  /// Advance to the next ABR decision (waiting for client buffer room as
+  /// needed). Returns false once the stream is over.
+  bool prepare_chunk();
+
+  /// Observation / lookahead of the pending decision (valid after a true
+  /// prepare_chunk(), until finish_chunk()).
+  [[nodiscard]] const abr::AbrObservation& observation() const { return obs_; }
+  [[nodiscard]] std::span<const media::ChunkOptions> lookahead() const {
+    return lookahead_;
+  }
+
+  /// Decide (through the ABR scheme) and transfer the prepared chunk.
+  void finish_chunk();
+
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// The finished stream's outcome (valid once prepare_chunk() returned
+  /// false); leaves the session in a moved-from state.
+  StreamOutcome take_outcome();
+
+ private:
+  void end_stream();
+
+  net::TcpSender& sender_;
+  abr::AbrAlgorithm& abr_;
+  media::VbrVideoSource& video_;
+  const UserBehavior& user_;
+  Rng& rng_;
+  StreamRunConfig config_;
+  StreamObserver* observer_;
+
+  StreamOutcome outcome_;
+  double t0_ = 0.0;
+  double chunk_dur_ = 0.0;
+  int64_t next_chunk_ = 0;
+  double buffer_s_ = 0.0;
+  bool playing_ = false;
+  double played_s_ = 0.0;
+  double stall_s_ = 0.0;
+  double startup_delay_s_ = 0.0;
+  double prev_ssim_db_ = -1.0;
+  int prev_rung_ = -1;
+  bool user_left_ = false;
+  bool done_ = false;
+  RunningStats ssim_stats_, variation_stats_;
+  double total_bytes_ = 0.0;
+  double total_tx_time_ = 0.0;
+
+  abr::AbrObservation obs_;
+  std::vector<media::ChunkOptions> lookahead_;
 };
 
 /// Run one stream: the viewer watches `video` starting at `first_chunk`

@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.hh"
 
 namespace puffer::stats {
 
 double ConfidenceInterval::relative_half_width() const {
-  if (point == 0.0) {
-    return 0.0;
+  const double half_width = (upper - lower) / 2.0;
+  // A zero / near-zero point estimate (e.g. a scheme that never stalled)
+  // makes "width as a fraction of the point" ill-defined: report 0 for a
+  // degenerate interval and infinity otherwise, rather than dividing into
+  // a denormal and returning an astronomically large finite ratio.
+  if (std::abs(point) < 1e-12) {
+    return half_width == 0.0 ? 0.0
+                             : std::numeric_limits<double>::infinity();
   }
-  return (upper - lower) / 2.0 / std::abs(point);
+  return half_width / std::abs(point);
 }
 
 bool ConfidenceInterval::overlaps(const ConfidenceInterval& other) const {

@@ -16,7 +16,9 @@ struct ConfidenceInterval {
   double upper = 0.0;
 
   /// Half-width relative to the point estimate (the paper quotes CI widths
-  /// as a percentage of the mean, e.g. "±10% to ±17%").
+  /// as a percentage of the mean, e.g. "±10% to ±17%"). A zero/near-zero
+  /// point estimate is handled deliberately: 0 when the interval is
+  /// degenerate (no width around nothing), +infinity otherwise.
   [[nodiscard]] double relative_half_width() const;
 
   /// Do two intervals overlap? (Used for "statistically indistinguishable".)

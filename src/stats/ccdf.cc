@@ -17,7 +17,12 @@ std::vector<DistributionPoint> curve(const std::span<const double> values,
   std::sort(sorted.begin(), sorted.end());
 
   const size_t n = sorted.size();
-  const size_t stride = std::max<size_t>(1, n / static_cast<size_t>(max_points));
+  // Round the stride up so the strided sweep emits at most max_points
+  // entries (the old floor-division stride could overshoot by a factor of
+  // nearly two for n just above max_points^2/(max_points+1)).
+  const size_t stride = std::max<size_t>(
+      1, (n + static_cast<size_t>(max_points) - 1) /
+             static_cast<size_t>(max_points));
 
   std::vector<DistributionPoint> points;
   for (size_t i = 0; i < n; i += stride) {

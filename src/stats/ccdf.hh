@@ -12,9 +12,12 @@ struct DistributionPoint {
   double probability = 0.0;
 };
 
-/// Empirical CCDF P(X > x) evaluated at each distinct sample value
-/// (downsampled to at most `max_points` for printing). Used for Figure 10
-/// (time-on-player CCDF) and Figure 11's throughput distributions.
+/// Empirical CCDF P(X > x) evaluated at sorted sample values, downsampled
+/// to at most `max_points` strided entries plus one final point at the
+/// sample maximum (so the result holds at most max_points + 1 points).
+/// Throws RequirementError on an empty sample or max_points < 2. Used for
+/// Figure 10 (time-on-player CCDF) and Figure 11's throughput
+/// distributions.
 std::vector<DistributionPoint> empirical_ccdf(std::span<const double> values,
                                               int max_points = 60);
 

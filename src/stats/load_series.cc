@@ -1,0 +1,80 @@
+#include "stats/load_series.hh"
+
+#include <algorithm>
+
+#include "util/require.hh"
+
+namespace puffer::stats {
+
+void LoadSeries::add(const double time_s, const int delta) {
+  deltas_.emplace_back(time_s, delta);
+  finalized_ = false;
+}
+
+void LoadSeries::finalize() {
+  if (finalized_) {
+    return;
+  }
+  std::vector<std::pair<double, int>> sorted = deltas_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  points_.clear();
+  int level = 0;
+  for (size_t i = 0; i < sorted.size();) {
+    const double t = sorted[i].first;
+    while (i < sorted.size() && sorted[i].first == t) {
+      level += sorted[i].second;
+      i++;
+    }
+    const int previous = points_.empty() ? 0 : points_.back().level;
+    if (level == previous) {
+      continue;  // merged deltas cancelled out; the step did not move
+    }
+    points_.push_back({t, level});
+  }
+  finalized_ = true;
+}
+
+const std::vector<LoadSeries::Point>& LoadSeries::points() const {
+  require(finalized_ || deltas_.empty(), "LoadSeries: finalize() first");
+  return points_;
+}
+
+int LoadSeries::peak() const {
+  int peak_level = 0;
+  for (const Point& p : points()) {
+    peak_level = std::max(peak_level, p.level);
+  }
+  return peak_level;
+}
+
+double LoadSeries::time_weighted_mean() const {
+  const std::vector<Point>& pts = points();
+  if (pts.size() < 2) {
+    return 0.0;
+  }
+  const double span = pts.back().time_s - pts.front().time_s;
+  if (span <= 0.0) {
+    return 0.0;
+  }
+  double integral = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); i++) {
+    integral += static_cast<double>(pts[i].level) *
+                (pts[i + 1].time_s - pts[i].time_s);
+  }
+  return integral / span;
+}
+
+int LoadSeries::level_at(const double time_s) const {
+  const std::vector<Point>& pts = points();
+  const auto after = std::upper_bound(
+      pts.begin(), pts.end(), time_s,
+      [](const double t, const Point& p) { return t < p.time_s; });
+  if (after == pts.begin()) {
+    return 0;
+  }
+  return std::prev(after)->level;
+}
+
+}  // namespace puffer::stats

@@ -1,0 +1,52 @@
+#ifndef PUFFER_STATS_LOAD_SERIES_HH
+#define PUFFER_STATS_LOAD_SERIES_HH
+
+#include <vector>
+
+namespace puffer::stats {
+
+/// Step-function time series of a concurrency level, built from +1/-1
+/// events. The fleet engine records one +1 per session arrival and one -1
+/// per session completion, so the finalized series is the simulated
+/// counterpart of Figure 2's concurrent-streams-by-hour plot.
+///
+/// Deltas may be added out of time order (the fleet engine discovers
+/// completion times as sessions finish); finalize() stable-sorts them by
+/// time, so the finalized series is a deterministic function of the delta
+/// multiset regardless of insertion order of distinct times.
+class LoadSeries {
+ public:
+  struct Point {
+    double time_s = 0.0;
+    int level = 0;  ///< concurrency from this time until the next point
+  };
+
+  /// Record a level change of `delta` at `time_s`.
+  void add(double time_s, int delta);
+
+  /// Sort pending deltas and fold them into the step function; deltas at
+  /// the same time merge into one point (a session that arrives and
+  /// completes at the same instant leaves no trace). Queries below require
+  /// a finalized series; adding after finalize() and re-finalizing is fine.
+  void finalize();
+
+  [[nodiscard]] bool empty() const { return deltas_.empty(); }
+  [[nodiscard]] const std::vector<Point>& points() const;
+
+  /// Maximum level ever held (0 for an empty series).
+  [[nodiscard]] int peak() const;
+  /// Level integrated over [first event, last event] divided by that span
+  /// (0 for an empty or instantaneous series).
+  [[nodiscard]] double time_weighted_mean() const;
+  /// Level in force at `time_s` (0 before the first event).
+  [[nodiscard]] int level_at(double time_s) const;
+
+ private:
+  std::vector<std::pair<double, int>> deltas_;
+  std::vector<Point> points_;
+  bool finalized_ = false;
+};
+
+}  // namespace puffer::stats
+
+#endif  // PUFFER_STATS_LOAD_SERIES_HH

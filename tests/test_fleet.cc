@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+#include "abr/bba.hh"
+#include "exp/fleet_trial.hh"
+#include "exp/registry.hh"
+#include "exp/trial.hh"
+#include "fugu/batch_ttp.hh"
+#include "fugu/fugu.hh"
+#include "fugu/ttp_predictor.hh"
+#include "sim/arrivals.hh"
+#include "stats/load_series.hh"
+#include "util/require.hh"
+
+namespace puffer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+TEST(Arrivals, PoissonMatchesRequestedRate) {
+  sim::PoissonArrivals arrivals{2.0};
+  Rng rng{1};
+  const std::vector<double> times = sim::sample_arrivals(arrivals, rng, 4000);
+  ASSERT_EQ(times.size(), 4000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Mean inter-arrival should be ~1/rate = 0.5 s.
+  EXPECT_NEAR(times.back() / 4000.0, 0.5, 0.05);
+}
+
+TEST(Arrivals, DeterministicGivenSeed) {
+  sim::ArrivalSpec spec;
+  spec.kind = "diurnal";
+  const auto process = sim::make_arrival_process(spec);
+  Rng rng_a{7}, rng_b{7};
+  const auto a = sim::sample_arrivals(*process, rng_a, 200);
+  const auto b = sim::sample_arrivals(*process, rng_b, 200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i]));
+  }
+}
+
+TEST(Arrivals, DiurnalRatePeaksAtPrimeTime) {
+  sim::ArrivalSpec spec;
+  spec.kind = "diurnal";
+  spec.rate_per_s = 4.0;
+  spec.trough_fraction = 0.25;
+  sim::DiurnalArrivals arrivals{spec};
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(spec.peak_time_s), 4.0);
+  // Half a period away the rate bottoms out at trough_fraction * peak.
+  EXPECT_NEAR(arrivals.rate_at(spec.peak_time_s + spec.period_s / 2.0),
+              1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(arrivals.peak_rate(), 4.0);
+}
+
+TEST(Arrivals, FlashCrowdSurgesDuringBurst) {
+  sim::ArrivalSpec spec;
+  spec.kind = "flash-crowd";
+  spec.rate_per_s = 1.0;
+  spec.burst_start_s = 100.0;
+  spec.burst_duration_s = 50.0;
+  spec.burst_multiplier = 20.0;
+  const auto process = sim::make_arrival_process(spec);
+  EXPECT_DOUBLE_EQ(process->rate_at(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(process->rate_at(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(process->rate_at(149.9), 20.0);
+  EXPECT_DOUBLE_EQ(process->rate_at(150.0), 1.0);
+
+  Rng rng{3};
+  const auto times = sim::sample_arrivals(*process, rng, 600);
+  const auto in_burst = std::count_if(times.begin(), times.end(), [&](double t) {
+    return t >= 100.0 && t < 150.0;
+  });
+  // Expected ~1000/(1000+... ) — the burst window carries 20x the density of
+  // an equal-length quiet window; just require a strong surge.
+  const auto before_burst = std::count_if(
+      times.begin(), times.end(), [](double t) { return t < 50.0; });
+  EXPECT_GT(in_burst, 5 * before_burst);
+}
+
+TEST(Arrivals, UnknownKindRejected) {
+  sim::ArrivalSpec spec;
+  spec.kind = "carrier-pigeon";
+  EXPECT_THROW(static_cast<void>(sim::make_arrival_process(spec)),
+               RequirementError);
+}
+
+// ---------------------------------------------------------------------------
+// Load time series
+// ---------------------------------------------------------------------------
+
+TEST(LoadSeries, StepFunctionPeakAndMean) {
+  stats::LoadSeries load;
+  // Out-of-order insertion: completion discovered before a later arrival.
+  load.add(0.0, +1);
+  load.add(4.0, -1);
+  load.add(1.0, +1);
+  load.add(3.0, -1);
+  load.finalize();
+  EXPECT_EQ(load.peak(), 2);
+  EXPECT_EQ(load.level_at(0.5), 1);
+  EXPECT_EQ(load.level_at(2.0), 2);
+  EXPECT_EQ(load.level_at(3.5), 1);
+  EXPECT_EQ(load.level_at(4.0), 0);
+  EXPECT_EQ(load.level_at(-1.0), 0);
+  // Integral: 1*1 + 2*2 + 1*1 over a span of 4.
+  EXPECT_NEAR(load.time_weighted_mean(), 6.0 / 4.0, 1e-12);
+}
+
+TEST(LoadSeries, SimultaneousDeltasMerge) {
+  stats::LoadSeries load;
+  load.add(1.0, +1);
+  load.add(1.0, -1);  // zero-duration session leaves no trace
+  load.finalize();
+  EXPECT_TRUE(load.points().empty());
+  EXPECT_EQ(load.peak(), 0);
+}
+
+TEST(LoadSeries, EmptySeries) {
+  stats::LoadSeries load;
+  load.finalize();
+  EXPECT_EQ(load.peak(), 0);
+  EXPECT_DOUBLE_EQ(load.time_weighted_mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched TTP inference
+// ---------------------------------------------------------------------------
+
+void expect_same_distribution(const abr::TxTimeDistribution& a,
+                              const abr::TxTimeDistribution& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].time_s),
+              std::bit_cast<uint64_t>(b[i].time_s));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a[i].probability),
+              std::bit_cast<uint64_t>(b[i].probability));
+  }
+}
+
+abr::AbrObservation fake_observation(const uint64_t seed) {
+  Rng rng{seed};
+  abr::AbrObservation obs;
+  obs.buffer_s = rng.uniform(0.0, 15.0);
+  obs.tcp.cwnd_pkts = rng.uniform(10.0, 300.0);
+  obs.tcp.in_flight_pkts = rng.uniform(0.0, 200.0);
+  obs.tcp.min_rtt_s = rng.uniform(0.01, 0.3);
+  obs.tcp.srtt_s = rng.uniform(0.01, 0.4);
+  obs.tcp.delivery_rate_bps = rng.uniform(1e5, 5e7);
+  return obs;
+}
+
+fugu::TtpHistory fake_history(const uint64_t seed, const int chunks) {
+  Rng rng{seed};
+  fugu::TtpHistory history;
+  for (int i = 0; i < chunks; i++) {
+    history.record(rng.uniform(0.1, 4.0), rng.uniform(0.05, 3.0),
+                   fugu::kTtpHistory);
+  }
+  return history;
+}
+
+std::vector<abr::TxTimeQuery> fake_queries(const uint64_t seed) {
+  Rng rng{seed};
+  std::vector<abr::TxTimeQuery> queries;
+  for (int step = 0; step < 5; step++) {
+    for (int rung = 0; rung < media::kNumRungs; rung++) {
+      queries.push_back({step, rng.uniform_int(50'000, 6'000'000)});
+    }
+  }
+  return queries;
+}
+
+/// Acceptance criterion (c): the fused matrix-matrix path answers exactly
+/// what the scalar forward_one path answers, bit for bit.
+TEST(BatchTtp, PredictBatchMatchesScalarForwardOne) {
+  const auto model = std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 42);
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    fugu::TtpPredictor scalar{model};
+    fugu::BatchTtpPredictor batched{model};
+    const abr::AbrObservation obs = fake_observation(seed);
+    const fugu::TtpHistory history = fake_history(seed, 6);
+    for (int i = 0; i < 6; i++) {
+      abr::ChunkRecord record;
+      record.size_bytes = static_cast<int64_t>(history.sizes_mb[i] * 1e6);
+      record.transmission_time_s = history.tx_times_s[i];
+      scalar.on_chunk_complete(record);
+      batched.on_chunk_complete(record);
+    }
+    scalar.begin_decision(obs);
+    batched.begin_decision(obs);
+
+    const std::vector<abr::TxTimeQuery> queries = fake_queries(seed);
+    std::vector<abr::TxTimeDistribution> scalar_out, batched_out;
+    scalar.predict_batch(queries, scalar_out);    // default loop over predict()
+    batched.predict_batch(queries, batched_out);  // one GEMM per step-network
+    ASSERT_EQ(scalar_out.size(), batched_out.size());
+    for (size_t i = 0; i < scalar_out.size(); i++) {
+      expect_same_distribution(scalar_out[i], batched_out[i]);
+    }
+    // The scalar predict() entry point agrees too.
+    expect_same_distribution(scalar.predict(2, 1'234'567),
+                             batched.predict(2, 1'234'567));
+  }
+}
+
+TEST(BatchTtp, PointEstimateVariantMatches) {
+  const auto model = std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 7);
+  fugu::TtpPredictor scalar{model, /*point_estimate=*/true};
+  fugu::BatchTtpPredictor batched{model, /*point_estimate=*/true};
+  const abr::AbrObservation obs = fake_observation(11);
+  scalar.begin_decision(obs);
+  batched.begin_decision(obs);
+  const std::vector<abr::TxTimeQuery> queries = fake_queries(11);
+  std::vector<abr::TxTimeDistribution> scalar_out, batched_out;
+  scalar.predict_batch(queries, scalar_out);
+  batched.predict_batch(queries, batched_out);
+  ASSERT_EQ(scalar_out.size(), batched_out.size());
+  for (size_t i = 0; i < scalar_out.size(); i++) {
+    ASSERT_EQ(batched_out[i].size(), 1u);
+    expect_same_distribution(scalar_out[i], batched_out[i]);
+  }
+}
+
+/// Cross-session coalescing: several sessions staged into one shared batch
+/// (one GEMM across all of them per step-network) answer exactly what each
+/// would have answered alone.
+TEST(BatchTtp, SharedBatchCoalescesAcrossSessionsExactly) {
+  const auto model = std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 9);
+  media::VbrVideoSource video{media::default_channels()[0], 21};
+  std::vector<media::ChunkOptions> lookahead;
+  for (int k = 0; k < 5; k++) {
+    lookahead.push_back(video.chunk_options(k));
+  }
+  // MPC's query order over this lookahead.
+  std::vector<abr::TxTimeQuery> queries;
+  for (int step = 0; step < 5; step++) {
+    for (int rung = 0; rung < media::kNumRungs; rung++) {
+      queries.push_back(
+          {step, lookahead[static_cast<size_t>(step)].version(rung).size_bytes});
+    }
+  }
+
+  constexpr int kSessions = 5;
+  fugu::TtpInferenceBatch shared;
+  std::vector<std::unique_ptr<fugu::BatchTtpPredictor>> staged_predictors;
+  for (int s = 0; s < kSessions; s++) {
+    auto predictor = std::make_unique<fugu::BatchTtpPredictor>(model);
+    const abr::AbrObservation obs = fake_observation(100 + s);
+    predictor->begin_decision(obs);
+    predictor->stage(obs, lookahead, /*horizon=*/5, shared);
+    staged_predictors.push_back(std::move(predictor));
+  }
+  EXPECT_EQ(shared.rows_pending(), kSessions * 5 * media::kNumRungs);
+  shared.run();
+  EXPECT_EQ(shared.total_forward_calls(), 5);  // one GEMM per step-network
+
+  for (int s = 0; s < kSessions; s++) {
+    fugu::BatchTtpPredictor alone{model};
+    const abr::AbrObservation obs = fake_observation(100 + s);
+    alone.begin_decision(obs);
+    std::vector<abr::TxTimeDistribution> expected, coalesced;
+    alone.predict_batch(queries, expected);
+    staged_predictors[static_cast<size_t>(s)]->predict_batch(queries,
+                                                             coalesced);
+    ASSERT_EQ(expected.size(), coalesced.size());
+    for (size_t i = 0; i < expected.size(); i++) {
+      expect_same_distribution(expected[i], coalesced[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet trials
+// ---------------------------------------------------------------------------
+
+void expect_same_bits(const double a, const double b) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b));
+}
+
+void expect_identical(const exp::TrialResult& a, const exp::TrialResult& b) {
+  ASSERT_EQ(a.schemes.size(), b.schemes.size());
+  for (size_t s = 0; s < a.schemes.size(); s++) {
+    const exp::SchemeResult& x = a.schemes[s];
+    const exp::SchemeResult& y = b.schemes[s];
+    EXPECT_EQ(x.scheme, y.scheme);
+
+    EXPECT_EQ(x.consort.sessions, y.consort.sessions);
+    EXPECT_EQ(x.consort.streams, y.consort.streams);
+    EXPECT_EQ(x.consort.never_began, y.consort.never_began);
+    EXPECT_EQ(x.consort.under_min_watch, y.consort.under_min_watch);
+    EXPECT_EQ(x.consort.decoder_failure, y.consort.decoder_failure);
+    EXPECT_EQ(x.consort.truncated, y.consort.truncated);
+    EXPECT_EQ(x.consort.considered, y.consort.considered);
+
+    ASSERT_EQ(x.considered.size(), y.considered.size());
+    for (size_t i = 0; i < x.considered.size(); i++) {
+      expect_same_bits(x.considered[i].watch_time_s,
+                       y.considered[i].watch_time_s);
+      expect_same_bits(x.considered[i].stall_time_s,
+                       y.considered[i].stall_time_s);
+      expect_same_bits(x.considered[i].startup_delay_s,
+                       y.considered[i].startup_delay_s);
+      expect_same_bits(x.considered[i].ssim_mean_db,
+                       y.considered[i].ssim_mean_db);
+      expect_same_bits(x.considered[i].ssim_variation_db,
+                       y.considered[i].ssim_variation_db);
+      expect_same_bits(x.considered[i].first_chunk_ssim_db,
+                       y.considered[i].first_chunk_ssim_db);
+      expect_same_bits(x.considered[i].mean_bitrate_mbps,
+                       y.considered[i].mean_bitrate_mbps);
+      expect_same_bits(x.considered[i].mean_delivery_rate_mbps,
+                       y.considered[i].mean_delivery_rate_mbps);
+    }
+
+    ASSERT_EQ(x.session_durations_s.size(), y.session_durations_s.size());
+    for (size_t i = 0; i < x.session_durations_s.size(); i++) {
+      expect_same_bits(x.session_durations_s[i], y.session_durations_s[i]);
+    }
+
+    ASSERT_EQ(x.logs.size(), y.logs.size());
+    for (size_t i = 0; i < x.logs.size(); i++) {
+      EXPECT_EQ(x.logs[i].day, y.logs[i].day);
+      ASSERT_EQ(x.logs[i].chunks.size(), y.logs[i].chunks.size());
+      for (size_t c = 0; c < x.logs[i].chunks.size(); c++) {
+        expect_same_bits(x.logs[i].chunks[c].size_mb,
+                         y.logs[i].chunks[c].size_mb);
+        expect_same_bits(x.logs[i].chunks[c].tx_time_s,
+                         y.logs[i].chunks[c].tx_time_s);
+      }
+    }
+  }
+}
+
+/// Schemes exercising all three decision paths: coalesced learned inference
+/// (Fugu via BatchTtpPredictor), classical MPC (default predict_batch) and
+/// a predictor-free scheme.
+exp::SchemeFactory fleet_factory() {
+  static const auto model =
+      std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 20190119);
+  return [](const std::string& name) -> std::unique_ptr<abr::AbrAlgorithm> {
+    if (name == "Fugu") {
+      return fugu::make_fugu(model, name);
+    }
+    return exp::make_scheme(name, exp::SchemeArtifacts{});
+  };
+}
+
+exp::FleetTrialConfig fleet_config() {
+  exp::FleetTrialConfig config;
+  config.trial.schemes = {"Fugu", "MPC-HM", "BBA"};
+  config.trial.sessions_per_scheme = 5;
+  config.trial.seed = 20190119;
+  config.trial.collect_logs = true;
+  config.trial.day = 1;
+  config.trial.num_threads = 1;
+  config.trial.stream.max_stream_chunks = 60;  // bound Pareto-tail streams
+  config.arrivals.kind = "poisson";
+  config.arrivals.rate_per_s = 0.05;  // sessions overlap heavily
+  return config;
+}
+
+/// Acceptance criterion (a): the fleet interleaving of non-interacting
+/// sessions is figure-identical to the session-sequential baseline.
+TEST(FleetTrial, MatchesSequentialBaselineInRctMode) {
+  const exp::FleetTrialConfig config = fleet_config();
+  const exp::TrialResult sequential =
+      exp::run_trial(config.trial, fleet_factory());
+  const exp::FleetTrialResult fleet =
+      exp::run_fleet_trial(config, fleet_factory());
+  expect_identical(sequential, fleet.trial);
+
+  const int64_t total =
+      static_cast<int64_t>(config.trial.schemes.size()) *
+      config.trial.sessions_per_scheme;
+  EXPECT_EQ(fleet.fleet.sessions, total);
+  EXPECT_GT(fleet.fleet.decisions, 0);
+  EXPECT_GT(fleet.fleet.gemm_calls, 0);       // Fugu sessions coalesced
+  EXPECT_GT(fleet.fleet.coalesced_rows, 0);
+  EXPECT_GT(fleet.fleet.inline_decisions, 0);  // BBA / MPC-HM ran inline
+  EXPECT_GE(fleet.fleet.load.peak(), 2);       // sessions actually overlapped
+  EXPECT_LE(fleet.fleet.load.peak(), total);
+  EXPECT_GT(fleet.fleet.virtual_duration_s, 0.0);
+}
+
+TEST(FleetTrial, MatchesSequentialBaselineInPairedMode) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.paired_paths = true;
+  config.trial.sessions_per_scheme = 4;
+  const exp::TrialResult sequential =
+      exp::run_trial(config.trial, fleet_factory());
+  const exp::FleetTrialResult fleet =
+      exp::run_fleet_trial(config, fleet_factory());
+  expect_identical(sequential, fleet.trial);
+}
+
+/// Acceptance criterion (b): bit-identical results at any thread count —
+/// including the load series the engine records.
+TEST(FleetTrial, BitIdenticalAcrossThreadCounts) {
+  exp::FleetTrialConfig config = fleet_config();
+  const exp::FleetTrialResult one = exp::run_fleet_trial(config, fleet_factory());
+  for (const int threads : {2, 4}) {
+    config.trial.num_threads = threads;
+    const exp::FleetTrialResult many =
+        exp::run_fleet_trial(config, fleet_factory());
+    expect_identical(one.trial, many.trial);
+    EXPECT_EQ(one.fleet.decisions, many.fleet.decisions);
+    EXPECT_EQ(one.fleet.coalesced_rows, many.fleet.coalesced_rows);
+    EXPECT_EQ(one.fleet.gemm_calls, many.fleet.gemm_calls);
+    ASSERT_EQ(one.fleet.load.points().size(), many.fleet.load.points().size());
+    for (size_t i = 0; i < one.fleet.load.points().size(); i++) {
+      expect_same_bits(one.fleet.load.points()[i].time_s,
+                       many.fleet.load.points()[i].time_s);
+      EXPECT_EQ(one.fleet.load.points()[i].level,
+                many.fleet.load.points()[i].level);
+    }
+  }
+}
+
+/// Coalescing is a pure execution strategy: switching it off (or shrinking
+/// the fusion window/cap) must not change a single bit of the results.
+TEST(FleetTrial, CoalescingToggleAndWindowDoNotChangeResults) {
+  exp::FleetTrialConfig config = fleet_config();
+  const exp::FleetTrialResult fused =
+      exp::run_fleet_trial(config, fleet_factory());
+
+  config.coalesce_inference = false;
+  const exp::FleetTrialResult inline_only =
+      exp::run_fleet_trial(config, fleet_factory());
+  expect_identical(fused.trial, inline_only.trial);
+  EXPECT_EQ(inline_only.fleet.coalesced_rows, 0);
+  EXPECT_EQ(inline_only.fleet.gemm_calls, 0);
+
+  config.coalesce_inference = true;
+  config.max_coalesced_sessions = 2;
+  config.coalesce_window_s = 0.01;
+  const exp::FleetTrialResult narrow =
+      exp::run_fleet_trial(config, fleet_factory());
+  expect_identical(fused.trial, narrow.trial);
+}
+
+TEST(FleetTrial, FlashCrowdDrivesConcurrencySpike) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.schemes = {"BBA"};
+  config.trial.sessions_per_scheme = 30;
+  config.arrivals.kind = "flash-crowd";
+  config.arrivals.rate_per_s = 0.01;
+  config.arrivals.burst_start_s = 50.0;
+  config.arrivals.burst_duration_s = 40.0;
+  config.arrivals.burst_multiplier = 400.0;
+  const exp::FleetTrialResult result =
+      exp::run_fleet_trial(config, fleet_factory());
+  // The burst crams most arrivals into a 40 s window, so concurrency there
+  // must dwarf the quiet baseline.
+  EXPECT_GE(result.fleet.load.peak(), 8);
+}
+
+TEST(FleetTrial, EmptyTrialIsFine) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.sessions_per_scheme = 0;
+  const exp::FleetTrialResult result =
+      exp::run_fleet_trial(config, fleet_factory());
+  EXPECT_EQ(result.fleet.sessions, 0);
+  EXPECT_EQ(result.fleet.decisions, 0);
+  for (const auto& scheme : result.trial.schemes) {
+    EXPECT_EQ(scheme.consort.sessions, 0);
+  }
+}
+
+}  // namespace
+}  // namespace puffer

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/bootstrap.hh"
@@ -33,6 +34,25 @@ TEST(ConfidenceInterval, RelativeHalfWidth) {
   const ConfidenceInterval ci{/*point=*/0.002, /*lower=*/0.0018,
                               /*upper=*/0.0022};
   EXPECT_NEAR(ci.relative_half_width(), 0.10, 1e-9);
+}
+
+TEST(ConfidenceInterval, RelativeHalfWidthGuardsZeroPoint) {
+  // A zero point estimate with real width: relative width is unbounded.
+  const ConfidenceInterval zero_point{0.0, -0.01, 0.01};
+  EXPECT_TRUE(std::isinf(zero_point.relative_half_width()));
+  EXPECT_GT(zero_point.relative_half_width(), 0.0);
+
+  // Fully degenerate (a scheme that never stalled): deliberately 0.
+  const ConfidenceInterval degenerate{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(degenerate.relative_half_width(), 0.0);
+
+  // Near-zero point estimates no longer divide into a denormal.
+  const ConfidenceInterval tiny{1e-300, 0.0, 2e-300};
+  EXPECT_TRUE(std::isinf(tiny.relative_half_width()));
+
+  // A healthy point estimate still reports the plain ratio.
+  const ConfidenceInterval healthy{0.5, 0.4, 0.6};
+  EXPECT_NEAR(healthy.relative_half_width(), 0.2, 1e-12);
 }
 
 TEST(ConfidenceInterval, OverlapLogic) {
@@ -154,6 +174,61 @@ TEST(Ccdf, MedianPointNearHalf) {
   for (const auto& point : curve) {
     if (std::abs(point.value - 500.0) < 6.0) {
       EXPECT_NEAR(point.probability, 0.5, 0.02);
+    }
+  }
+}
+
+TEST(Ccdf, EmptyInputRejected) {
+  EXPECT_THROW(static_cast<void>(empirical_ccdf({})), RequirementError);
+  EXPECT_THROW(static_cast<void>(empirical_cdf({})), RequirementError);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(static_cast<void>(empirical_ccdf(one, 1)), RequirementError);
+}
+
+TEST(Ccdf, SingleSample) {
+  const std::vector<double> one = {3.5};
+  const auto ccdf = empirical_ccdf(one);
+  ASSERT_GE(ccdf.size(), 1u);
+  for (const auto& point : ccdf) {
+    EXPECT_DOUBLE_EQ(point.value, 3.5);
+  }
+  EXPECT_DOUBLE_EQ(ccdf.front().probability, 0.0);  // P(X > max) = 0
+
+  const auto cdf = empirical_cdf(one);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 3.5);
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+}
+
+TEST(Ccdf, AllEqualSamplesCollapseToOneValue) {
+  const std::vector<double> values(100, 7.0);
+  const auto ccdf = empirical_ccdf(values, 10);
+  for (const auto& point : ccdf) {
+    EXPECT_DOUBLE_EQ(point.value, 7.0);
+    EXPECT_GE(point.probability, 0.0);
+    EXPECT_LE(point.probability, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(ccdf.back().probability, 0.0);
+  const auto cdf = empirical_cdf(values, 10);
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+}
+
+TEST(Ccdf, DownsamplingRespectsMaxPoints) {
+  Rng rng{99};
+  for (const int n : {1, 2, 59, 60, 61, 500, 1000, 10007}) {
+    std::vector<double> values(static_cast<size_t>(n));
+    for (auto& v : values) {
+      v = rng.uniform();
+    }
+    for (const int max_points : {2, 10, 60}) {
+      const auto curve = empirical_ccdf(values, max_points);
+      // At most max_points strided entries plus the appended maximum.
+      EXPECT_LE(curve.size(), static_cast<size_t>(max_points) + 1)
+          << "n=" << n << " max_points=" << max_points;
+      EXPECT_GE(curve.size(), 2u);
+      for (size_t i = 1; i < curve.size(); i++) {
+        EXPECT_GE(curve[i].value, curve[i - 1].value);
+      }
+      EXPECT_DOUBLE_EQ(curve.back().probability, 0.0);
     }
   }
 }
