@@ -1,15 +1,76 @@
 #ifndef PUFFER_BENCH_BENCH_COMMON_HH
 #define PUFFER_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/models.hh"
 #include "exp/trial_cache.hh"
 #include "stats/summary.hh"
 
 namespace puffer::bench {
+
+/// Standardized emitter for the BENCH_*.json artifacts the benches commit:
+/// a flat ordered JSON object of numbers, strings and bools. Keeps every
+/// bench's output diff-friendly (fixed decimals, insertion order) without
+/// each main() hand-rolling fprintf format strings.
+class JsonWriter {
+ public:
+  void field(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string{value});
+  }
+  void field(const std::string& key, const bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void field(const std::string& key, const int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void field(const std::string& key, const int value) {
+    field(key, static_cast<int64_t>(value));
+  }
+  /// Fixed-point with `decimals` digits (0 emits an integer-looking value).
+  void field(const std::string& key, const double value,
+             const int decimals = 3) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    fields_.emplace_back(key, buffer);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); i++) {
+      out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Write to `path`; returns false (after a warning) when the file cannot
+  /// be opened, matching the benches' best-effort JSON behavior.
+  bool write_file(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Sessions per scheme for the trial-based benches. Override with
 /// PUFFER_BENCH_SESSIONS; the default gives stable orderings in minutes of

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "abr/bba.hh"
+#include "bench_common.hh"
 #include "exp/fleet_trial.hh"
 #include "exp/registry.hh"
 #include "fugu/batch_ttp.hh"
@@ -295,40 +296,24 @@ int main(int argc, char** argv) {
               static_cast<long long>(fleet.fleet.gemm_calls),
               static_cast<long long>(fleet.fleet.inline_decisions));
 
-  std::FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"fleet_scale\",\n"
-                 "  \"smoke\": %s,\n"
-                 "  \"ttp_scalar_rows_per_s\": %.0f,\n"
-                 "  \"ttp_batched_rows_per_s\": %.0f,\n"
-                 "  \"ttp_batched_speedup\": %.3f,\n"
-                 "  \"ttp_bitwise_identical\": %s,\n"
-                 "  \"fleet_sessions\": %lld,\n"
-                 "  \"fleet_sessions_per_s\": %.2f,\n"
-                 "  \"fleet_chunks_per_s\": %.1f,\n"
-                 "  \"fleet_vs_sequential_wall\": %.3f,\n"
-                 "  \"fleet_figure_identical\": %s,\n"
-                 "  \"peak_concurrency\": %d,\n"
-                 "  \"mean_concurrency\": %.2f,\n"
-                 "  \"coalesced_rows\": %lld,\n"
-                 "  \"gemm_calls\": %lld\n"
-                 "}\n",
-                 smoke ? "true" : "false", inference.scalar_rows_per_s,
-                 inference.batched_rows_per_s,
-                 inference.batched_rows_per_s / inference.scalar_rows_per_s,
-                 inference.identical ? "true" : "false",
-                 static_cast<long long>(fleet.fleet.sessions), sessions_per_s,
-                 chunks_per_s, sequential_s / fleet_s,
-                 figures_identical ? "true" : "false",
-                 fleet.fleet.load.peak(),
-                 fleet.fleet.load.time_weighted_mean(),
-                 static_cast<long long>(fleet.fleet.coalesced_rows),
-                 static_cast<long long>(fleet.fleet.gemm_calls));
-    std::fclose(json);
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
+  puffer::bench::JsonWriter json;
+  json.field("bench", "fleet_scale");
+  json.field("smoke", smoke);
+  json.field("ttp_scalar_rows_per_s", inference.scalar_rows_per_s, 0);
+  json.field("ttp_batched_rows_per_s", inference.batched_rows_per_s, 0);
+  json.field("ttp_batched_speedup",
+             inference.batched_rows_per_s / inference.scalar_rows_per_s, 3);
+  json.field("ttp_bitwise_identical", inference.identical);
+  json.field("fleet_sessions", static_cast<int64_t>(fleet.fleet.sessions));
+  json.field("fleet_sessions_per_s", sessions_per_s, 2);
+  json.field("fleet_chunks_per_s", chunks_per_s, 1);
+  json.field("fleet_vs_sequential_wall", sequential_s / fleet_s, 3);
+  json.field("fleet_figure_identical", figures_identical);
+  json.field("peak_concurrency", fleet.fleet.load.peak());
+  json.field("mean_concurrency", fleet.fleet.load.time_weighted_mean(), 2);
+  json.field("coalesced_rows", static_cast<int64_t>(fleet.fleet.coalesced_rows));
+  json.field("gemm_calls", static_cast<int64_t>(fleet.fleet.gemm_calls));
+  json.write_file(json_path);
 
   if (!inference.identical || !figures_identical) {
     std::fprintf(stderr, "fleet_scale: BITWISE AUDIT FAILED\n");

@@ -74,6 +74,154 @@ double StochasticMpc::chunk_qoe(const double ssim_db, const double prev_ssim_db,
   return qoe;
 }
 
+void StochasticMpc::prepare_plan(
+    const std::span<const media::ChunkOptions> lookahead,
+    TxTimePredictor& predictor) {
+  require(!lookahead.empty(), "StochasticMpc::plan: empty lookahead");
+  lookahead_ = lookahead;
+  effective_horizon_ =
+      std::min<int>(config_.horizon, static_cast<int>(lookahead.size()));
+
+  // Precompute (and prune) one distribution per (step, rung). All queries
+  // of the decision are issued in one predict_batch call so learned
+  // predictors can answer them with fused forward passes.
+  enumerate_tx_time_queries(lookahead, config_.horizon, queries_);
+  predictor.predict_batch(queries_, distributions_);
+  require(distributions_.size() == queries_.size(),
+          "StochasticMpc: predictor answered the wrong number of queries");
+  for (TxTimeDistribution& dist : distributions_) {
+    require(!dist.empty(), "StochasticMpc: predictor returned empty dist");
+    prune_distribution(dist, config_.prune_probability);
+  }
+}
+
+int StochasticMpc::plan_root(const AbrObservation& obs,
+                             const std::span<const double> value_of_next) {
+  // Root step: continuous buffer, previous quality from the observation.
+  int best_action = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  root_values_.assign(media::kNumRungs, 0.0);
+  for (int action = 0; action < media::kNumRungs; action++) {
+    const auto& version = lookahead_[0].versions[static_cast<size_t>(action)];
+    const TxTimeDistribution& dist = distributions_[static_cast<size_t>(action)];
+    double expected = 0.0;
+    for (const auto& outcome : dist) {
+      const double qoe = chunk_qoe(version.ssim_db, obs.prev_ssim_db,
+                                   outcome.time_s, obs.buffer_s);
+      const double next_buffer =
+          std::min(std::max(obs.buffer_s - outcome.time_s, 0.0) +
+                       config_.chunk_duration_s,
+                   config_.max_buffer_s);
+      const double continuation =
+          value_of_next[static_cast<size_t>(buffer_to_bin(next_buffer)) *
+                            media::kNumRungs +
+                        static_cast<size_t>(action)];
+      expected += outcome.probability * (qoe + continuation);
+    }
+    root_values_[static_cast<size_t>(action)] = expected;
+    if (expected > best_value) {
+      best_value = expected;
+      best_action = action;
+    }
+  }
+  last_plan_value_ = best_value;
+  return best_action;
+}
+
+int StochasticMpc::plan(const AbrObservation& obs,
+                        const std::span<const media::ChunkOptions> lookahead,
+                        TxTimePredictor& predictor) {
+  prepare_plan(lookahead, predictor);
+
+  constexpr int R = media::kNumRungs;
+  const int bins = num_bins_ + 1;
+  const size_t plane = static_cast<size_t>(bins) * R;
+
+  // Backward sweep over the (step x buffer-bin x previous-rung) lattice.
+  // value_next_ holds V[step + 1]; V[effective_horizon_] = 0.
+  value_next_.assign(plane, 0.0);
+  value_cur_.resize(plane);
+  expect_base_.resize(static_cast<size_t>(R) * bins);
+  switch_penalty_.resize(static_cast<size_t>(R) * R);
+
+  for (int step = effective_horizon_ - 1; step >= 1; step--) {
+    // 1. Fold the outcome expectation once per (action, bin):
+    //      expect_base_[a][b] = sum_o p_o * (V[step+1][nb][a] - mu * stall)
+    //    The bin transition nb and stall cost of each (step, action,
+    //    outcome) are computed once per plan here — the maximization below
+    //    never touches buffer_to_bin again, and (unlike the recursion) the
+    //    expectation no longer re-runs per previous rung.
+    for (int action = 0; action < R; action++) {
+      double* base = expect_base_.data() + static_cast<size_t>(action) * bins;
+      std::fill(base, base + bins, 0.0);
+      const TxTimeDistribution& dist =
+          distributions_[static_cast<size_t>(step) * R +
+                         static_cast<size_t>(action)];
+      for (const TxTimeOutcome& outcome : dist) {
+        const double t = outcome.time_s;
+        const double p = outcome.probability;
+        for (int b = 0; b < bins; b++) {
+          const double buffer_s = b * config_.buffer_bin_s;
+          const double stall = t > buffer_s ? t - buffer_s : 0.0;
+          const double next_buffer =
+              std::min(std::max(buffer_s - t, 0.0) + config_.chunk_duration_s,
+                       config_.max_buffer_s);
+          const int nb = buffer_to_bin(next_buffer);
+          base[b] += p * (value_next_[static_cast<size_t>(nb) * R +
+                                      static_cast<size_t>(action)] -
+                          config_.mu * stall);
+        }
+      }
+    }
+
+    // 2. Quality + switch-penalty term per (action, previous rung) — does
+    //    not depend on the buffer, so it is hoisted out of the bin loop.
+    //    Matches chunk_qoe: a negative previous SSIM means "no previous
+    //    quality", so the variation term is skipped.
+    for (int action = 0; action < R; action++) {
+      const double ssim =
+          lookahead_[static_cast<size_t>(step)].versions[static_cast<size_t>(
+              action)].ssim_db;
+      for (int prev = 0; prev < R; prev++) {
+        const double prev_ssim =
+            lookahead_[static_cast<size_t>(step - 1)]
+                .versions[static_cast<size_t>(prev)].ssim_db;
+        const double penalty =
+            prev_ssim >= 0.0 ? config_.lambda * std::abs(ssim - prev_ssim)
+                             : 0.0;
+        switch_penalty_[static_cast<size_t>(action) * R +
+                        static_cast<size_t>(prev)] = ssim - penalty;
+      }
+    }
+
+    // 3. Maximize over actions for every (bin, previous rung) state.
+    for (int b = 0; b < bins; b++) {
+      double* out_row = value_cur_.data() + static_cast<size_t>(b) * R;
+      for (int prev = 0; prev < R; prev++) {
+        double best = -std::numeric_limits<double>::infinity();
+        for (int action = 0; action < R; action++) {
+          const double value =
+              switch_penalty_[static_cast<size_t>(action) * R +
+                              static_cast<size_t>(prev)] +
+              expect_base_[static_cast<size_t>(action) * bins +
+                           static_cast<size_t>(b)];
+          best = std::max(best, value);
+        }
+        out_row[prev] = best;
+      }
+    }
+    std::swap(value_cur_, value_next_);
+  }
+
+  // value_next_ now holds V[1] (or zeros when the horizon is 1).
+  return plan_root(obs, value_next_);
+}
+
+// ---------------------------------------------------------------------------
+// Reference path: the seed's recursive value iteration with epoch-tagged
+// memoization, retained verbatim as the oracle for the iterative sweep.
+// ---------------------------------------------------------------------------
+
 double StochasticMpc::value_of(const int step, const int buffer_bin,
                                const int prev_rung) {
   if (step >= effective_horizon_) {
@@ -115,30 +263,16 @@ double StochasticMpc::value_of(const int step, const int buffer_bin,
   return best;
 }
 
-int StochasticMpc::plan(const AbrObservation& obs,
-                        const std::span<const media::ChunkOptions> lookahead,
-                        TxTimePredictor& predictor) {
-  require(!lookahead.empty(), "StochasticMpc::plan: empty lookahead");
-  lookahead_ = lookahead;
-  effective_horizon_ =
-      std::min<int>(config_.horizon, static_cast<int>(lookahead.size()));
+int StochasticMpc::plan_reference(
+    const AbrObservation& obs,
+    const std::span<const media::ChunkOptions> lookahead,
+    TxTimePredictor& predictor) {
+  prepare_plan(lookahead, predictor);
   epoch_++;
 
-  // Precompute (and prune) one distribution per (step, rung). All queries
-  // of the decision are issued in one predict_batch call so learned
-  // predictors can answer them with fused forward passes.
-  enumerate_tx_time_queries(lookahead, config_.horizon, queries_);
-  predictor.predict_batch(queries_, distributions_);
-  require(distributions_.size() == queries_.size(),
-          "StochasticMpc: predictor answered the wrong number of queries");
-  for (TxTimeDistribution& dist : distributions_) {
-    require(!dist.empty(), "StochasticMpc: predictor returned empty dist");
-    prune_distribution(dist, config_.prune_probability);
-  }
-
-  // Root step: continuous buffer, previous quality from the observation.
   int best_action = 0;
   double best_value = -std::numeric_limits<double>::infinity();
+  root_values_.assign(media::kNumRungs, 0.0);
   for (int action = 0; action < media::kNumRungs; action++) {
     const auto& version = lookahead[0].versions[static_cast<size_t>(action)];
     const TxTimeDistribution& dist = distributions_[static_cast<size_t>(action)];
@@ -153,6 +287,7 @@ int StochasticMpc::plan(const AbrObservation& obs,
       expected += outcome.probability *
                   (qoe + value_of(1, buffer_to_bin(next_buffer), action));
     }
+    root_values_[static_cast<size_t>(action)] = expected;
     if (expected > best_value) {
       best_value = expected;
       best_action = action;

@@ -25,11 +25,21 @@ struct MpcConfig {
 };
 
 /// Stochastic model-predictive controller: maximizes expected cumulative QoE
-/// over the lookahead horizon by forward value iteration with memoization
-/// over (step, discretized buffer, previous rung) — exactly the paper's
-/// section 4.4 formulation. Works with any TxTimePredictor:
+/// over the lookahead horizon — exactly the paper's section 4.4 formulation.
+/// Works with any TxTimePredictor:
 ///  * degenerate (point-mass) distributions reproduce classical MPC;
 ///  * Fugu's probabilistic TTP makes it a stochastic optimal controller.
+///
+/// plan() runs the dynamic program as an iterative backward sweep over the
+/// (step x buffer-bin x previous-rung) lattice: per step, the expectation
+/// over transmission-time outcomes is folded once per (action, bin) — with
+/// the bin transition and stall cost of each (action, outcome) computed once
+/// per plan — and the per-(bin, prev-rung) maximization then reads those
+/// folded values. No recursion, no memo probing, and the outcome loop no
+/// longer repeats per previous rung (a kNumRungs-fold reduction in
+/// expectation work vs. the memoized recursion). plan_reference() retains
+/// the original recursive/memoized implementation as the oracle for the
+/// equivalence property tests.
 class StochasticMpc {
  public:
   explicit StochasticMpc(MpcConfig config = {});
@@ -40,21 +50,41 @@ class StochasticMpc {
            std::span<const media::ChunkOptions> lookahead,
            TxTimePredictor& predictor);
 
+  /// Retained naive implementation (recursive value iteration with epoch-
+  /// tagged memoization — the seed code). Used by tests to pin plan()'s
+  /// decisions; the two agree up to floating-point reassociation of the
+  /// expectation sum.
+  int plan_reference(const AbrObservation& obs,
+                     std::span<const media::ChunkOptions> lookahead,
+                     TxTimePredictor& predictor);
+
   [[nodiscard]] const MpcConfig& config() const { return config_; }
 
   /// Expected total QoE of the most recent plan (for tests/diagnostics).
   [[nodiscard]] double last_plan_value() const { return last_plan_value_; }
 
- private:
-  struct StateKey {
-    int step;
-    int buffer_bin;
-    int prev_rung;
-  };
+  /// Per-action expected total QoE at the root of the most recent plan
+  /// (for tests/diagnostics; index = rung).
+  [[nodiscard]] std::span<const double> last_root_values() const {
+    return root_values_;
+  }
 
+ private:
   [[nodiscard]] int buffer_to_bin(double buffer_s) const;
   [[nodiscard]] size_t state_index(int step, int buffer_bin, int prev_rung) const;
 
+  /// Shared plan setup: cache the lookahead, issue all (step x rung)
+  /// queries in one predict_batch call, prune the distributions.
+  void prepare_plan(std::span<const media::ChunkOptions> lookahead,
+                    TxTimePredictor& predictor);
+
+  /// Root maximization over the continuous (un-binned) buffer, reading
+  /// step-1 values from `value_of_next` (the V[1] plane, or zeros when the
+  /// horizon is 1). Returns the argmax rung and fills root_values_.
+  int plan_root(const AbrObservation& obs,
+                std::span<const double> value_of_next);
+
+  /// Reference-path recursion (memoized); only plan_reference() calls it.
   double value_of(int step, int buffer_bin, int prev_rung);
 
   /// QoE of choosing `version` given previous quality `prev_ssim_db`
@@ -71,10 +101,19 @@ class StochasticMpc {
   int effective_horizon_ = 0;
   std::vector<TxTimeQuery> queries_;               // [step * kNumRungs + rung]
   std::vector<TxTimeDistribution> distributions_;  // [step * kNumRungs + rung]
+  double last_plan_value_ = 0.0;
+  std::vector<double> root_values_;  // [rung]
+
+  // Iterative-sweep lattice planes, indexed [buffer_bin * kNumRungs + rung].
+  std::vector<double> value_cur_;
+  std::vector<double> value_next_;
+  std::vector<double> expect_base_;  // [action * (num_bins_+1) + bin]
+  std::vector<double> switch_penalty_;  // [action * kNumRungs + prev_rung]
+
+  // Reference-path memo (epoch-tagged; untouched by plan()).
   std::vector<double> memo_value_;
   std::vector<uint32_t> memo_epoch_;
   uint32_t epoch_ = 0;
-  double last_plan_value_ = 0.0;
 };
 
 }  // namespace puffer::abr

@@ -56,6 +56,16 @@ nn::Mlp train_pensieve(const PensieveTrainConfig& config, const uint64_t seed,
     report->reward_per_iteration.clear();
   }
 
+  // Training buffers hoisted out of the iteration loop; everything resizes
+  // in place, so steady-state iterations stop allocating in the NN stack.
+  nn::Tape critic_tape;
+  nn::Tape actor_tape;
+  nn::Matrix dvalues;
+  nn::Matrix probs;
+  nn::Matrix dlogits;
+  nn::Gradients critic_grads = critic.make_gradients();
+  nn::Gradients actor_grads = actor.make_gradients();
+
   for (int iteration = 0; iteration < config.iterations; iteration++) {
     // Entropy weight anneals geometrically over training (the "entropy
     // reduction scheme").
@@ -111,12 +121,10 @@ nn::Mlp train_pensieve(const PensieveTrainConfig& config, const uint64_t seed,
     }
 
     // 3. Critic update (value baseline) + advantages.
-    nn::Tape critic_tape;
     critic.forward_tape(states, critic_tape);
     const nn::Matrix& values = critic_tape.activations.back();
-    nn::Matrix dvalues;
     mse_loss(values, returns, dvalues);
-    nn::Gradients critic_grads = critic.make_gradients();
+    critic_grads.zero();
     critic.backward(critic_tape, dvalues, critic_grads);
     nn::clip_gradient_norm(critic_grads, config.gradient_clip);
     critic_opt.step(critic, critic_grads);
@@ -140,15 +148,13 @@ nn::Mlp train_pensieve(const PensieveTrainConfig& config, const uint64_t seed,
     }
 
     // 4. Actor update: policy gradient with entropy bonus.
-    nn::Tape actor_tape;
     actor.forward_tape(states, actor_tape);
-    nn::Matrix probs;
     nn::softmax(actor_tape.activations.back(), probs);
 
     // dLoss/dlogits for loss = -advantage*log pi(a|s) - beta*H(pi):
     //   policy term: advantage * (probs - onehot)
     //   entropy term: beta * probs * (log probs + H)   [d(-H)/dlogits]
-    nn::Matrix dlogits{total_steps, media::kNumRungs};
+    dlogits.resize_no_zero(total_steps, media::kNumRungs);
     const float scale = 1.0f / static_cast<float>(total_steps);
     for (size_t i = 0; i < total_steps; i++) {
       double entropy = 0.0;
@@ -166,7 +172,7 @@ nn::Mlp train_pensieve(const PensieveTrainConfig& config, const uint64_t seed,
         dlogits.at(i, col) = grad * scale;
       }
     }
-    nn::Gradients actor_grads = actor.make_gradients();
+    actor_grads.zero();
     actor.backward(actor_tape, dlogits, actor_grads);
     nn::clip_gradient_norm(actor_grads, config.gradient_clip);
     actor_opt.step(actor, actor_grads);

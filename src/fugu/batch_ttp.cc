@@ -45,7 +45,7 @@ void TtpInferenceBatch::run() {
     if (group.rows_used == 0) {
       continue;
     }
-    group.input.resize(group.rows_used, group.input_dim);
+    group.input.resize_no_zero(group.rows_used, group.input_dim);
     std::copy(group.staging.begin(), group.staging.end(), group.input.data());
     group.network->forward(group.input, group.logits, group.scratch);
     for (size_t r = 0; r < group.logits.rows(); r++) {

@@ -130,6 +130,16 @@ TtpModel train_ttp(const TtpConfig& config, const TtpDataset& dataset,
     nn::Mlp& net = model.networks()[static_cast<size_t>(step)];
     nn::AdamOptimizer optimizer{train_config.learning_rate};
 
+    // Minibatch buffers hoisted out of the inner loop: the tape, gradients
+    // and staging matrices resize in place, so the steady-state training
+    // step allocates nothing.
+    nn::Matrix inputs;
+    nn::Matrix dlogits;
+    nn::Tape tape;
+    nn::Gradients grads = net.make_gradients();
+    std::vector<int> labels;
+    std::vector<float> weights;
+
     const size_t batch = static_cast<size_t>(train_config.batch_size);
     for (int epoch = 0; epoch < train_config.epochs; epoch++) {
       std::shuffle(examples.begin(), examples.end(), rng.engine());
@@ -138,9 +148,9 @@ TtpModel train_ttp(const TtpConfig& config, const TtpDataset& dataset,
       for (size_t begin = 0; begin < examples.size(); begin += batch) {
         const size_t end = std::min(begin + batch, examples.size());
         const size_t rows = end - begin;
-        nn::Matrix inputs{rows, static_cast<size_t>(config.input_dim())};
-        std::vector<int> labels(rows);
-        std::vector<float> weights(rows);
+        inputs.resize_no_zero(rows, static_cast<size_t>(config.input_dim()));
+        labels.resize(rows);
+        weights.resize(rows);
         for (size_t r = 0; r < rows; r++) {
           const TtpExample& ex = examples[begin + r];
           std::copy(ex.features.begin(), ex.features.end(),
@@ -148,12 +158,10 @@ TtpModel train_ttp(const TtpConfig& config, const TtpDataset& dataset,
           labels[r] = ex.label;
           weights[r] = ex.weight;
         }
-        nn::Tape tape;
         net.forward_tape(inputs, tape);
-        nn::Matrix dlogits;
         const double loss = nn::softmax_cross_entropy(
             tape.activations.back(), labels, weights, dlogits);
-        nn::Gradients grads = net.make_gradients();
+        grads.zero();
         net.backward(tape, dlogits, grads);
         optimizer.step(net, grads);
         epoch_loss += loss;

@@ -8,22 +8,63 @@
 namespace puffer::nn {
 
 void softmax_inplace(const std::span<float> row) {
-  float max_logit = -std::numeric_limits<float>::infinity();
-  for (const float v : row) {
-    max_logit = std::max(max_logit, v);
+  // Lane-blocked reductions (8 lanes, fixed combine order) so the max and
+  // sum loops vectorize while staying bit-deterministic: the accumulation
+  // order is pinned by the code, not by whatever the compiler picks. The
+  // max is exact under any order; the sum's order is part of the kernel
+  // determinism contract. exp and the divide stay element-wise (libm expf
+  // and IEEE division are correctly rounded, so they match any path).
+  constexpr size_t kLanes = 8;
+  const size_t n = row.size();
+  float lane_max[kLanes];
+  std::fill(lane_max, lane_max + kLanes,
+            -std::numeric_limits<float>::infinity());
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; l++) {
+      lane_max[l] = std::max(lane_max[l], row[i + l]);
+    }
   }
-  float total = 0.0f;
+  for (size_t l = 0; i < n; i++, l++) {
+    lane_max[l] = std::max(lane_max[l], row[i]);
+  }
+  float max_logit = lane_max[0];
+  for (size_t l = 1; l < kLanes; l++) {
+    max_logit = std::max(max_logit, lane_max[l]);
+  }
+
   for (float& v : row) {
     v = std::exp(v - max_logit);
-    total += v;
   }
+
+  float lane_sum[kLanes] = {};
+  i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; l++) {
+      lane_sum[l] += row[i + l];
+    }
+  }
+  for (size_t l = 0; i < n; i++, l++) {
+    lane_sum[l] += row[i];
+  }
+  // Fixed pairwise combine: (0+4)+(2+6) and (1+5)+(3+7).
+  float total = 0.0f;
+  for (size_t l = 0; l < kLanes / 2; l++) {
+    lane_sum[l] += lane_sum[l + kLanes / 2];
+  }
+  for (size_t l = 0; l < kLanes / 4; l++) {
+    lane_sum[l] += lane_sum[l + kLanes / 4];
+  }
+  total = lane_sum[0] + lane_sum[1];
+
   for (float& v : row) {
     v /= total;
   }
 }
 
 void softmax(const Matrix& logits, Matrix& probs) {
-  probs = logits;
+  probs.resize_no_zero(logits.rows(), logits.cols());
+  std::copy(logits.data(), logits.data() + logits.size(), probs.data());
   for (size_t r = 0; r < probs.rows(); r++) {
     softmax_inplace(probs.row(r));
   }

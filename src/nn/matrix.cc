@@ -14,9 +14,14 @@ void Matrix::fill(const float value) {
 }
 
 void Matrix::resize(const size_t rows, const size_t cols) {
+  resize_no_zero(rows, cols);
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void Matrix::resize_no_zero(const size_t rows, const size_t cols) {
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0f);
+  data_.resize(rows * cols);
 }
 
 void Matrix::add_inplace(const Matrix& other) {
@@ -30,57 +35,6 @@ void Matrix::add_inplace(const Matrix& other) {
 void Matrix::scale_inplace(const float factor) {
   for (float& value : data_) {
     value *= factor;
-  }
-}
-
-void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
-  require(a.cols() == b.rows(), "matmul: inner dimensions must match");
-  out.resize(a.rows(), b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; i++) {
-    float* out_row = out.data() + i * n;
-    const float* a_row = a.data() + i * k;
-    for (size_t p = 0; p < k; p++) {
-      const float a_ip = a_row[p];
-      const float* b_row = b.data() + p * n;
-      for (size_t j = 0; j < n; j++) {
-        out_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
-}
-
-void matmul_bt(const Matrix& a, const Matrix& b, Matrix& out) {
-  require(a.cols() == b.cols(), "matmul_bt: inner dimensions must match");
-  out.resize(a.rows(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; i++) {
-    const float* a_row = a.data() + i * k;
-    for (size_t j = 0; j < n; j++) {
-      const float* b_row = b.data() + j * k;
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; p++) {
-        acc += a_row[p] * b_row[p];
-      }
-      out.at(i, j) = acc;
-    }
-  }
-}
-
-void matmul_at(const Matrix& a, const Matrix& b, Matrix& out) {
-  require(a.rows() == b.rows(), "matmul_at: inner dimensions must match");
-  out.resize(a.cols(), b.cols());
-  const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (size_t p = 0; p < k; p++) {
-    const float* a_row = a.data() + p * m;
-    const float* b_row = b.data() + p * n;
-    for (size_t i = 0; i < m; i++) {
-      const float a_pi = a_row[i];
-      float* out_row = out.data() + i * n;
-      for (size_t j = 0; j < n; j++) {
-        out_row[j] += a_pi * b_row[j];
-      }
-    }
   }
 }
 

@@ -33,7 +33,14 @@ class Matrix {
   [[nodiscard]] const float* data() const { return data_.data(); }
 
   void fill(float value);
+  /// Reshape and zero-fill. Capacity is kept when the new shape fits, so a
+  /// warm buffer resized to the same (or smaller) shape never reallocates —
+  /// use this when the caller accumulates into the matrix.
   void resize(size_t rows, size_t cols);
+  /// Reshape WITHOUT zero-filling: existing element values are unspecified.
+  /// For outputs that are fully overwritten (GEMM results, staging copies);
+  /// skips the zero-fill pass that resize() pays on every call.
+  void resize_no_zero(size_t rows, size_t cols);
 
   /// this += other (elementwise; shapes must match).
   void add_inplace(const Matrix& other);
@@ -49,6 +56,8 @@ class Matrix {
 };
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+/// Backed by the kernel layer in gemm.hh (as are the transposed variants);
+/// the seed's naive implementations survive as naive_matmul* there.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a * b^T. Shapes: (m x k) * (n x k) -> (m x n).

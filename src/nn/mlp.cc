@@ -55,6 +55,55 @@ Mlp::Mlp(std::vector<size_t> layer_sizes, const uint64_t seed)
   }
 }
 
+Mlp::Mlp(const Mlp& other)
+    : layer_sizes_(other.layer_sizes_),
+      weights_(other.weights_),
+      biases_(other.biases_) {}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this != &other) {
+    layer_sizes_ = other.layer_sizes_;
+    weights_ = other.weights_;
+    biases_ = other.biases_;
+    invalidate_packed();
+  }
+  return *this;
+}
+
+Mlp::Mlp(Mlp&& other) noexcept
+    : layer_sizes_(std::move(other.layer_sizes_)),
+      weights_(std::move(other.weights_)),
+      biases_(std::move(other.biases_)) {}
+
+Mlp& Mlp::operator=(Mlp&& other) noexcept {
+  if (this != &other) {
+    layer_sizes_ = std::move(other.layer_sizes_);
+    weights_ = std::move(other.weights_);
+    biases_ = std::move(other.biases_);
+    invalidate_packed();
+  }
+  return *this;
+}
+
+bool Mlp::operator==(const Mlp& other) const {
+  return layer_sizes_ == other.layer_sizes_ && weights_ == other.weights_ &&
+         biases_ == other.biases_;
+}
+
+const std::vector<PackedMatrix>& Mlp::packed_weights() const {
+  if (!packed_valid_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock{pack_mutex_};
+    if (!packed_valid_.load(std::memory_order_relaxed)) {
+      packed_.resize(weights_.size());
+      for (size_t l = 0; l < weights_.size(); l++) {
+        packed_[l].pack_from(weights_[l]);
+      }
+      packed_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return packed_;
+}
+
 size_t Mlp::parameter_count() const {
   size_t total = 0;
   for (size_t l = 0; l < weights_.size(); l++) {
@@ -62,17 +111,6 @@ size_t Mlp::parameter_count() const {
   }
   return total;
 }
-
-namespace {
-
-void relu_inplace(Matrix& m) {
-  float* data = m.data();
-  for (size_t i = 0; i < m.size(); i++) {
-    data[i] = data[i] > 0.0f ? data[i] : 0.0f;
-  }
-}
-
-}  // namespace
 
 void Mlp::forward(const Matrix& input, Matrix& logits) const {
   Matrix scratch;
@@ -83,16 +121,15 @@ void Mlp::forward(const Matrix& input, Matrix& logits, Matrix& scratch) const {
   require(input.cols() == input_size(), "Mlp::forward: input width mismatch");
   require(&input != &logits && &input != &scratch && &logits != &scratch,
           "Mlp::forward: input, logits and scratch must be distinct");
+  const std::vector<PackedMatrix>& packed = packed_weights();
   const Matrix* src = &input;
   for (size_t l = 0; l < weights_.size(); l++) {
     // Alternate destinations so the last layer's write lands in `logits`.
     const size_t layers_after = weights_.size() - 1 - l;
     Matrix* dst = (layers_after % 2 == 0) ? &logits : &scratch;
-    matmul(*src, weights_[l], *dst);
-    add_row_bias(*dst, biases_[l]);
-    if (l + 1 < weights_.size()) {
-      relu_inplace(*dst);
-    }
+    const Epilogue epilogue =
+        l + 1 < weights_.size() ? Epilogue::kBiasRelu : Epilogue::kBias;
+    gemm(*src, packed[l], *dst, epilogue, biases_[l]);
     src = dst;
   }
 }
@@ -106,7 +143,7 @@ std::vector<float> Mlp::forward_one(const std::span<const float> input) const {
 std::span<float> Mlp::forward_one(const std::span<const float> input,
                                   ForwardScratch& scratch) const {
   require(input.size() == input_size(), "Mlp::forward_one: width mismatch");
-  scratch.input.resize(1, input_size());
+  scratch.input.resize_no_zero(1, input_size());
   std::copy(input.begin(), input.end(), scratch.input.data());
   forward(scratch.input, scratch.logits, scratch.hidden);
   return scratch.logits.row(0);
@@ -114,32 +151,35 @@ std::span<float> Mlp::forward_one(const std::span<const float> input,
 
 void Mlp::forward_tape(const Matrix& input, Tape& tape) const {
   require(input.cols() == input_size(), "Mlp::forward_tape: width mismatch");
-  tape.activations.assign(1, input);
+  const std::vector<PackedMatrix>& packed = packed_weights();
+  tape.activations.resize(weights_.size() + 1);
+  Matrix& staged = tape.activations.front();
+  staged.resize_no_zero(input.rows(), input.cols());
+  std::copy(input.data(), input.data() + input.size(), staged.data());
   for (size_t l = 0; l < weights_.size(); l++) {
-    Matrix next;
-    matmul(tape.activations.back(), weights_[l], next);
-    add_row_bias(next, biases_[l]);
-    if (l + 1 < weights_.size()) {
-      relu_inplace(next);
-    }
-    tape.activations.push_back(std::move(next));
+    const Epilogue epilogue =
+        l + 1 < weights_.size() ? Epilogue::kBiasRelu : Epilogue::kBias;
+    gemm(tape.activations[l], packed[l], tape.activations[l + 1], epilogue,
+         biases_[l]);
   }
 }
 
-void Mlp::backward(const Tape& tape, const Matrix& dlogits,
-                   Gradients& grads) const {
+void Mlp::backward(Tape& tape, const Matrix& dlogits, Gradients& grads) const {
   require(tape.activations.size() == weights_.size() + 1,
           "Mlp::backward: tape does not match network depth");
   require(dlogits.rows() == tape.activations.back().rows() &&
               dlogits.cols() == output_size(),
           "Mlp::backward: dlogits shape mismatch");
 
-  Matrix delta = dlogits;  // gradient w.r.t. pre-activation of current layer
-  Matrix next_delta;
+  // delta = gradient w.r.t. pre-activation of the current layer.
+  Matrix& delta = tape.delta;
+  Matrix& next_delta = tape.next_delta;
+  Matrix& dw = tape.dw;
+  delta.resize_no_zero(dlogits.rows(), dlogits.cols());
+  std::copy(dlogits.data(), dlogits.data() + dlogits.size(), delta.data());
   for (size_t l = weights_.size(); l-- > 0;) {
     const Matrix& layer_input = tape.activations[l];
     // dW = input^T * delta ; db = column sums of delta.
-    Matrix dw;
     matmul_at(layer_input, delta, dw);
     grads.weights[l].add_inplace(dw);
     for (size_t r = 0; r < delta.rows(); r++) {

@@ -1,10 +1,13 @@
 #ifndef PUFFER_NN_MLP_HH
 #define PUFFER_NN_MLP_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "nn/gemm.hh"
 #include "nn/matrix.hh"
 
 namespace puffer::nn {
@@ -19,17 +22,26 @@ struct Gradients {
   void add(const Gradients& other);
 };
 
-/// Forward-pass activation tape needed for backprop.
-/// activations[0] is the input batch; activations[i] (i >= 1) is the
-/// post-activation output of layer i-1.
+/// Forward-pass activation tape needed for backprop, plus the scratch
+/// buffers backward() ping-pongs through. All buffers resize in place, so a
+/// Tape hoisted out of a training loop makes forward_tape + backward
+/// allocation-free once warmed to shape (mirroring ForwardScratch for
+/// inference).
 struct Tape {
+  /// activations[0] is the input batch; activations[i] (i >= 1) is the
+  /// post-activation output of layer i-1.
   std::vector<Matrix> activations;
+
+  /// backward() scratch (gradient w.r.t. pre-activations, per-layer dW).
+  Matrix delta;
+  Matrix next_delta;
+  Matrix dw;
 };
 
-/// Reusable buffers for repeated inference. Matrix::resize keeps capacity,
-/// so after the first call at a given shape no further allocation happens —
-/// this is what keeps the per-decision hot paths (TTP, Pensieve actor)
-/// allocation-free.
+/// Reusable buffers for repeated inference. Matrix::resize_no_zero keeps
+/// capacity, so after the first call at a given shape no further allocation
+/// happens — this is what keeps the per-decision hot paths (TTP, Pensieve
+/// actor) allocation-free.
 struct ForwardScratch {
   Matrix input;   ///< 1 x input staging row for forward_one
   Matrix logits;  ///< final layer output
@@ -39,11 +51,21 @@ struct ForwardScratch {
 /// Fully-connected network with ReLU hidden activations and a linear output
 /// layer (logits). This mirrors the paper's TTP: 22 -> 64 -> 64 -> 21, and is
 /// also used for the Pensieve actor/critic networks.
+///
+/// Weight matrices are packed once into the GEMM layer's panel layout
+/// (lazily, invalidated whenever a mutable parameter accessor is taken), so
+/// forward, forward_one, forward_tape and backward all run on packed panels
+/// instead of re-striding the row-major storage every call.
 class Mlp {
  public:
   /// `layer_sizes` = {input, hidden..., output}; at least {in, out}.
   /// Weights use He initialization from `seed` (deterministic).
   Mlp(std::vector<size_t> layer_sizes, uint64_t seed);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&& other) noexcept;
+  Mlp& operator=(Mlp&& other) noexcept;
 
   [[nodiscard]] size_t input_size() const { return layer_sizes_.front(); }
   [[nodiscard]] size_t output_size() const { return layer_sizes_.back(); }
@@ -73,31 +95,54 @@ class Mlp {
                                ForwardScratch& scratch) const;
 
   /// Training forward pass: records activations in `tape`, leaves logits in
-  /// tape.activations.back().
+  /// tape.activations.back(). Tape buffers are reused in place.
   void forward_tape(const Matrix& input, Tape& tape) const;
 
   /// Backprop: given dLoss/dLogits (same shape as logits), accumulate
   /// parameter gradients into `grads` (which must be shaped by
-  /// `make_gradients`, and may already hold partial sums).
-  void backward(const Tape& tape, const Matrix& dlogits, Gradients& grads) const;
+  /// `make_gradients`, and may already hold partial sums). Uses the tape's
+  /// scratch buffers, so repeated calls on a warm tape do not allocate.
+  void backward(Tape& tape, const Matrix& dlogits, Gradients& grads) const;
 
   [[nodiscard]] Gradients make_gradients() const;
 
-  /// Parameter access (used by optimizers and serialization).
-  std::vector<Matrix>& weights() { return weights_; }
+  /// Parameter access (used by optimizers and serialization). The non-const
+  /// accessors invalidate the packed-weight cache: the next forward repacks.
+  /// Invalidation happens at ACCESSOR CALL time — do not hold the returned
+  /// reference across forward calls; re-take weights() for every mutation,
+  /// or the forwards in between will run on stale packed panels.
+  std::vector<Matrix>& weights() {
+    invalidate_packed();
+    return weights_;
+  }
   [[nodiscard]] const std::vector<Matrix>& weights() const { return weights_; }
   std::vector<std::vector<float>>& biases() { return biases_; }
   [[nodiscard]] const std::vector<std::vector<float>>& biases() const {
     return biases_;
   }
 
-  bool operator==(const Mlp& other) const = default;
+  /// The packed panel-major copies of the weight matrices the kernels run
+  /// on, repacking first if a mutable accessor dirtied them. Thread-safe for
+  /// concurrent const use (first caller packs under a lock).
+  const std::vector<PackedMatrix>& packed_weights() const;
+
+  /// Compares parameters (packing-cache state is ignored).
+  bool operator==(const Mlp& other) const;
 
  private:
+  void invalidate_packed() {
+    packed_valid_.store(false, std::memory_order_release);
+  }
+
   std::vector<size_t> layer_sizes_;
   /// weights_[l] has shape (layer_sizes_[l] x layer_sizes_[l+1]).
   std::vector<Matrix> weights_;
   std::vector<std::vector<float>> biases_;
+
+  /// Lazily-built panel-major weight cache (see gemm.hh).
+  mutable std::vector<PackedMatrix> packed_;
+  mutable std::atomic<bool> packed_valid_{false};
+  mutable std::mutex pack_mutex_;
 };
 
 }  // namespace puffer::nn

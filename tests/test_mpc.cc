@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 
 #include "abr/mpc.hh"
@@ -8,6 +10,7 @@
 #include "abr/throughput_predictors.hh"
 #include "test_helpers.hh"
 #include "util/require.hh"
+#include "util/rng.hh"
 
 namespace puffer::abr {
 namespace {
@@ -299,6 +302,116 @@ TEST(Mpc, PrunesNegligibleOutcomesWithoutChangingDecision) {
   const int full_choice = full.plan(obs, lookahead, p2);
   EXPECT_EQ(pruned_choice, full_choice);
   EXPECT_NEAR(pruned.last_plan_value(), full.last_plan_value(), 0.2);
+}
+
+/// The iterative backward sweep must agree with the retained recursive
+/// reference implementation on randomized lookaheads, horizons, buffers and
+/// multi-outcome distributions. The two differ only by floating-point
+/// reassociation of the expectation sum, so values match to ~1e-6 and the
+/// argmax may flip only on a floating tie.
+TEST(Mpc, IterativeSweepMatchesRecursiveReference) {
+  Rng meta{909};
+  for (int trial = 0; trial < 60; trial++) {
+    MpcConfig config;
+    config.horizon = 1 + static_cast<int>(meta.uniform_int(0, 4));
+    config.lambda = meta.uniform(0.0, 2.0);
+    const uint64_t dist_seed = meta.engine()();
+    const int max_outcomes = 1 + trial % 5;
+    // Pure function of (step, size): both plans see identical distributions.
+    ScriptedPredictor predictor{
+        [dist_seed, max_outcomes](const int step, const int64_t size) {
+          Rng rng{dist_seed ^ (static_cast<uint64_t>(step) << 48) ^
+                  static_cast<uint64_t>(size)};
+          const int n =
+              1 + static_cast<int>(rng.uniform_int(0, max_outcomes - 1));
+          TxTimeDistribution dist;
+          double mass = 0.0;
+          for (int i = 0; i < n; i++) {
+            dist.push_back({rng.uniform(0.05, 8.0), rng.uniform(0.05, 1.0)});
+            mass += dist.back().probability;
+          }
+          for (auto& outcome : dist) {
+            outcome.probability /= mass;
+          }
+          return dist;
+        }};
+
+    AbrObservation obs;
+    obs.buffer_s = meta.uniform(0.0, 15.0);
+    obs.prev_ssim_db = trial % 3 == 0 ? -1.0 : meta.uniform(9.0, 17.0);
+    // Lookaheads both shorter and longer than the horizon.
+    const auto lookahead =
+        make_lookahead(std::max(1, config.horizon - trial % 2));
+
+    StochasticMpc mpc{config};
+    const int iterative = mpc.plan(obs, lookahead, predictor);
+    const double iterative_value = mpc.last_plan_value();
+    const std::vector<double> iterative_roots{mpc.last_root_values().begin(),
+                                              mpc.last_root_values().end()};
+
+    const int reference = mpc.plan_reference(obs, lookahead, predictor);
+    const double reference_value = mpc.last_plan_value();
+    const std::span<const double> reference_roots = mpc.last_root_values();
+
+    const double tol = 1e-6 * std::max(1.0, std::abs(reference_value));
+    EXPECT_NEAR(iterative_value, reference_value, tol) << "trial " << trial;
+    ASSERT_EQ(iterative_roots.size(), reference_roots.size());
+    for (size_t a = 0; a < iterative_roots.size(); a++) {
+      EXPECT_NEAR(iterative_roots[a], reference_roots[a], tol)
+          << "trial " << trial << " action " << a;
+    }
+    if (iterative != reference) {
+      EXPECT_NEAR(reference_roots[static_cast<size_t>(iterative)],
+                  reference_roots[static_cast<size_t>(reference)], tol)
+          << "trial " << trial << ": argmax flip without a value tie";
+    }
+  }
+}
+
+/// chunk_qoe treats a negative previous SSIM as "no previous quality" and
+/// skips the variation term; the sweep's hoisted switch-penalty table must
+/// honor the same rule for interior steps.
+TEST(Mpc, IterativeMatchesReferenceWithNegativeSsimVersions) {
+  MpcConfig config;
+  config.lambda = 25.0;  // make any variation-term mismatch decisive
+  StochasticMpc mpc{config};
+  ScriptedPredictor predictor{[](const int, const int64_t size) {
+    return TxTimeDistribution{{static_cast<double>(size) / (3e6 / 8.0), 0.8},
+                              {static_cast<double>(size) / (0.8e6 / 8.0), 0.2}};
+  }};
+  auto lookahead = make_lookahead(5);
+  for (auto& options : lookahead) {
+    options.versions[0].ssim_db = -1.0;  // e.g. an unavailable encoding
+    options.versions[1].ssim_db = -0.5;
+  }
+  AbrObservation obs;
+  obs.buffer_s = 5.0;
+  obs.prev_ssim_db = 14.0;
+  const int iterative = mpc.plan(obs, lookahead, predictor);
+  const double iterative_value = mpc.last_plan_value();
+  const int reference = mpc.plan_reference(obs, lookahead, predictor);
+  EXPECT_EQ(iterative, reference);
+  EXPECT_NEAR(iterative_value, mpc.last_plan_value(),
+              1e-6 * std::max(1.0, std::abs(mpc.last_plan_value())));
+}
+
+TEST(Mpc, IterativePlanDeterministicAcrossRepeatedRuns) {
+  StochasticMpc mpc;
+  ScriptedPredictor predictor{[](const int, const int64_t size) {
+    return TxTimeDistribution{
+        {static_cast<double>(size) / (4e6 / 8.0), 0.7},
+        {static_cast<double>(size) / (1e6 / 8.0), 0.3}};
+  }};
+  AbrObservation obs;
+  obs.buffer_s = 6.0;
+  obs.prev_ssim_db = 14.0;
+  const auto lookahead = make_lookahead(5);
+  const int first = mpc.plan(obs, lookahead, predictor);
+  const double first_value = mpc.last_plan_value();
+  for (int repeat = 0; repeat < 3; repeat++) {
+    EXPECT_EQ(mpc.plan(obs, lookahead, predictor), first);
+    EXPECT_EQ(mpc.last_plan_value(), first_value);  // bitwise
+  }
 }
 
 TEST(Mpc, ShortLookaheadStillWorks) {

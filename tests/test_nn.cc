@@ -230,19 +230,24 @@ TEST_P(MlpGradientCheck, BackpropMatchesNumericalGradient) {
   Gradients grads = net.make_gradients();
   net.backward(tape, dlogits, grads);
 
-  // Spot-check a sample of weights in every layer.
+  // Spot-check a sample of weights in every layer. Each perturbation goes
+  // through the mutable accessor so the packed-weight cache is invalidated
+  // (the same pattern optimizers follow).
   const float eps = 1e-2f;
+  auto poke = [&net](const size_t layer, const size_t idx, const float value) {
+    net.weights()[layer].data()[idx] = value;
+  };
   for (size_t l = 0; l < net.num_layers(); l++) {
-    Matrix& w = net.weights()[l];
+    const size_t layer_weights = net.weights()[l].size();
     for (size_t probe = 0; probe < 5; probe++) {
       const size_t idx = static_cast<size_t>(
-          rng.uniform_int(0, static_cast<int64_t>(w.size()) - 1));
-      const float original = w.data()[idx];
-      w.data()[idx] = original + eps;
+          rng.uniform_int(0, static_cast<int64_t>(layer_weights) - 1));
+      const float original = net.weights()[l].data()[idx];
+      poke(l, idx, original + eps);
       const double up = loss_fn();
-      w.data()[idx] = original - eps;
+      poke(l, idx, original - eps);
       const double down = loss_fn();
-      w.data()[idx] = original;
+      poke(l, idx, original);
       const double numerical = (up - down) / (2.0 * eps);
       EXPECT_NEAR(grads.weights[l].data()[idx], numerical,
                   2e-2 * std::max(1.0, std::abs(numerical)))
