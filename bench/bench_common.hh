@@ -14,14 +14,51 @@
 
 namespace puffer::bench {
 
+/// JSON string-body escaping per RFC 8259: backslash, double quote, and
+/// every control character below 0x20 (named escapes where they exist,
+/// \u00XX otherwise). Keeps bench JSON parseable when a path, trace name
+/// or scenario id carries quotes, Windows separators or stray control
+/// bytes.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Standardized emitter for the BENCH_*.json artifacts the benches commit:
 /// a flat ordered JSON object of numbers, strings and bools. Keeps every
 /// bench's output diff-friendly (fixed decimals, insertion order) without
-/// each main() hand-rolling fprintf format strings.
+/// each main() hand-rolling fprintf format strings. Keys and string values
+/// are escaped, so arbitrary paths/names stay valid JSON.
 class JsonWriter {
  public:
   void field(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + value + "\"");
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += json_escape(value);
+    quoted += '"';
+    fields_.emplace_back(key, std::move(quoted));
   }
   void field(const std::string& key, const char* value) {
     field(key, std::string{value});
@@ -46,7 +83,10 @@ class JsonWriter {
   [[nodiscard]] std::string str() const {
     std::string out = "{\n";
     for (size_t i = 0; i < fields_.size(); i++) {
-      out += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+      out += "  \"";
+      out += json_escape(fields_[i].first);
+      out += "\": ";
+      out += fields_[i].second;
       out += i + 1 < fields_.size() ? ",\n" : "\n";
     }
     out += "}\n";

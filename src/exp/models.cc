@@ -19,6 +19,8 @@ constexpr int kTtpSessionsPerDay = 160;
 }  // namespace
 
 std::string model_cache_dir() {
+  // DETLINT-OK(nondet-source): cache-location knob only — the artifacts in
+  // the directory are seed-addressed, so the path never affects results
   const char* env = std::getenv("PUFFER_CACHE_DIR");
   const std::string dir = env != nullptr ? env : ".puffer_model_cache";
   std::filesystem::create_directories(dir);

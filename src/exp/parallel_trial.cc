@@ -5,10 +5,11 @@
 #include <exception>
 #include <iterator>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "util/require.hh"
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 #include "util/thread_pool.hh"
 
 namespace puffer::exp {
@@ -23,6 +24,25 @@ int64_t chunk_size_for(const int64_t total_sessions, const int num_threads) {
   const int64_t target_chunks = 8 * static_cast<int64_t>(num_threads);
   return std::clamp<int64_t>(total_sessions / target_chunks, 1, 64);
 }
+
+/// The only state a trial's workers share (besides the read-only config/
+/// generator and their disjoint result slots). Campaign day trials and the
+/// fleet engine's scheme pools all funnel through this dispatcher, so its
+/// members carry the thread-safety protocol explicitly.
+struct ChunkDispatch {
+  /// Work-stealing cursor. The fetch_add order decides only WHICH worker
+  /// simulates a chunk, never the result: chunk c always covers sessions
+  /// [c*size, (c+1)*size) and lands in partials[c], merged in index order.
+  std::atomic<int64_t> next_chunk ATOMIC_SAFE(
+      "claim order affects scheduling only; results are slot-addressed") =
+      0;
+  /// Advisory early-out after a failure; workers may race past it and
+  /// finish their chunk, which is harmless (results are discarded on
+  /// rethrow).
+  std::atomic<bool> failed ATOMIC_SAFE("advisory cancellation flag") = false;
+  Mutex error_mutex GUARDS(first_error);
+  std::exception_ptr first_error GUARDED_BY(error_mutex);
+};
 
 }  // namespace
 
@@ -73,10 +93,7 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
   // output ordering matches the serial session-index order exactly.
   std::vector<std::vector<SchemeResult>> partials(
       static_cast<size_t>(num_chunks));
-  std::atomic<int64_t> next_chunk{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ChunkDispatch dispatch;
 
   {
     ThreadPool pool{workers};
@@ -84,8 +101,8 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
       pool.submit([&, w] {
         try {
           for (;;) {
-            const int64_t c = next_chunk.fetch_add(1);
-            if (c >= num_chunks || failed.load()) {
+            const int64_t c = dispatch.next_chunk.fetch_add(1);
+            if (c >= num_chunks || dispatch.failed.load()) {
               return;
             }
             const int64_t begin = c * chunk_size;
@@ -97,18 +114,21 @@ TrialResult ParallelTrialRunner::run(const TrialConfig& config,
                                       begin, end, partial);
           }
         } catch (...) {
-          const std::lock_guard<std::mutex> lock{error_mutex};
-          if (!first_error) {
-            first_error = std::current_exception();
+          const MutexLock lock{dispatch.error_mutex};
+          if (!dispatch.first_error) {
+            dispatch.first_error = std::current_exception();
           }
-          failed.store(true);
+          dispatch.failed.store(true);
         }
       });
     }
     pool.wait();
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  {
+    const MutexLock lock{dispatch.error_mutex};
+    if (dispatch.first_error) {
+      std::rethrow_exception(dispatch.first_error);
+    }
   }
 
   TrialResult trial;

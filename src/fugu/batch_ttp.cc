@@ -12,13 +12,15 @@ size_t TtpInferenceBatch::group_for(const TtpModel& model, const int step) {
       std::clamp(step, 0, model.config().horizon - 1);
   const nn::Mlp& network =
       model.networks()[static_cast<size_t>(clamped_step)];
-  const auto [it, inserted] = index_.try_emplace(&network, groups_.size());
-  if (inserted) {
-    groups_.push_back(Group{});
-    groups_.back().network = &network;
-    groups_.back().input_dim = network.input_size();
+  for (size_t g = 0; g < groups_.size(); g++) {
+    if (groups_[g].network == &network) {
+      return g;
+    }
   }
-  return it->second;
+  groups_.push_back(Group{});
+  groups_.back().network = &network;
+  groups_.back().input_dim = network.input_size();
+  return groups_.size() - 1;
 }
 
 TtpInferenceBatch::Slot TtpInferenceBatch::enqueue_row(

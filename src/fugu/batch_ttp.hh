@@ -2,7 +2,6 @@
 #define PUFFER_FUGU_BATCH_TTP_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -66,8 +65,11 @@ class TtpInferenceBatch {
     nn::Matrix scratch;
   };
 
-  std::vector<Group> groups_;               ///< insertion order (deterministic)
-  std::map<const nn::Mlp*, size_t> index_;  ///< network -> group
+  /// Insertion order (deterministic). Resolution is a linear scan by
+  /// network identity — a pointer-keyed std::map would order by allocation
+  /// address (detlint R3), and with one group per step-network the scan is
+  /// at most a handful of compares, cheaper than a tree walk.
+  std::vector<Group> groups_;
   int64_t rows_pending_ = 0;
   int64_t total_rows_ = 0;
   int64_t total_forwards_ = 0;

@@ -10,6 +10,10 @@ namespace puffer::nn {
 
 namespace {
 
+/// Kernel-dispatch override for tests/benches (set_gemm_force_portable).
+/// Both paths are bit-identical, so the flag can never change results —
+/// it only selects which of two equal implementations runs.
+// DETLINT-OK(global-state): annotated singleton — process-wide dispatch toggle, flipped only in single-threaded test/bench setup
 std::atomic<bool> force_portable_{false};
 
 /// Portable micro-kernel: the exact blocking of the AVX2 kernel with

@@ -92,7 +92,7 @@ bool Mlp::operator==(const Mlp& other) const {
 
 const std::vector<PackedMatrix>& Mlp::packed_weights() const {
   if (!packed_valid_.load(std::memory_order_acquire)) {
-    const std::lock_guard<std::mutex> lock{pack_mutex_};
+    const MutexLock lock{pack_mutex_};
     if (!packed_valid_.load(std::memory_order_relaxed)) {
       packed_.resize(weights_.size());
       for (size_t l = 0; l < weights_.size(); l++) {

@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "nn/gemm.hh"
 #include "nn/matrix.hh"
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace puffer::nn {
 
@@ -123,8 +124,12 @@ class Mlp {
 
   /// The packed panel-major copies of the weight matrices the kernels run
   /// on, repacking first if a mutable accessor dirtied them. Thread-safe for
-  /// concurrent const use (first caller packs under a lock).
-  const std::vector<PackedMatrix>& packed_weights() const;
+  /// concurrent const use (first caller packs under a lock). Double-checked:
+  /// the packed_valid_ acquire-load lets warmed readers skip the lock and
+  /// return packed_ without holding pack_mutex_, a protocol clang's
+  /// lock-based analysis cannot express — hence the opt-out annotation.
+  const std::vector<PackedMatrix>& packed_weights() const
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Compares parameters (packing-cache state is ignored).
   bool operator==(const Mlp& other) const;
@@ -140,9 +145,16 @@ class Mlp {
   std::vector<std::vector<float>> biases_;
 
   /// Lazily-built panel-major weight cache (see gemm.hh).
-  mutable std::vector<PackedMatrix> packed_;
-  mutable std::atomic<bool> packed_valid_{false};
-  mutable std::mutex pack_mutex_;
+  mutable std::vector<PackedMatrix> packed_ GUARDED_BY(pack_mutex_);
+  /// Publication flag for packed_: store-release by the packing thread
+  /// (inside the pack_mutex_ critical section) pairs with the load-acquire
+  /// in packed_weights(), so a reader that observes `true` also observes
+  /// the fully-built panels. Weights are immutable while any forward runs
+  /// (non-const accessors invalidate at call time, single-threaded).
+  mutable std::atomic<bool> packed_valid_ ATOMIC_SAFE(
+      "release inside the critical section pairs with readers' acquire") =
+      false;
+  mutable Mutex pack_mutex_ GUARDS(packed_);
 };
 
 }  // namespace puffer::nn

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(const int num_threads) {
     // already running, else their joinable std::thread destructors would
     // terminate the process instead of letting the exception propagate.
     {
-      std::unique_lock<std::mutex> lock{mutex_};
+      const MutexLock lock{mutex_};
       shutting_down_ = true;
     }
     work_available_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(const int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -41,7 +41,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::unique_lock<std::mutex> lock{mutex_};
+    const MutexLock lock{mutex_};
     queue_.push_back(std::move(job));
     unfinished_++;
   }
@@ -51,8 +51,10 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock{mutex_};
-    all_done_.wait(lock, [this] { return unfinished_ == 0; });
+    MutexLock lock{mutex_};
+    while (unfinished_ != 0) {
+      all_done_.wait(lock);
+    }
     error = std::exchange(first_error_, nullptr);
   }
   if (error) {
@@ -68,9 +70,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock{mutex_};
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.wait(lock);
+      }
       if (queue_.empty()) {
         return;  // shutting down and drained
       }
@@ -84,7 +87,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock{mutex_};
+      const MutexLock lock{mutex_};
       if (error && !first_error_) {
         first_error_ = std::move(error);
       }

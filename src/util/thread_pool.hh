@@ -1,14 +1,15 @@
 #ifndef PUFFER_UTIL_THREAD_POOL_HH
 #define PUFFER_UTIL_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace puffer {
 
@@ -57,13 +58,13 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int64_t unfinished_ = 0;  ///< queued + currently running jobs
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  ///< first job exception; guarded by mutex_
+  Mutex mutex_ GUARDS(queue_, unfinished_, shutting_down_, first_error_);
+  CondVar work_available_;  ///< signaled on submit() and at shutdown
+  CondVar all_done_;        ///< signaled when unfinished_ reaches 0
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  int64_t unfinished_ GUARDED_BY(mutex_) = 0;  ///< queued + running jobs
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);  ///< first job exception
 };
 
 }  // namespace puffer

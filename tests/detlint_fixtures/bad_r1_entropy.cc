@@ -1,0 +1,34 @@
+// detlint fixture: R1 nondet-source true positives. Lines carrying a
+// marker comment naming R1 must be flagged; tests/test_detlint.cc parses
+// the markers and compares them against the linter's findings. Never
+// compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned entropy_seed() {
+  std::random_device device;  // FLAG:R1
+  return device();
+}
+
+int libc_random() {
+  return rand();  // FLAG:R1
+}
+
+long long wall_clock_ns() {
+  const auto now = std::chrono::steady_clock::now();  // FLAG:R1
+  return now.time_since_epoch().count();
+}
+
+const char* cache_dir() {
+  return std::getenv("CACHE_DIR");  // FLAG:R1
+}
+
+long unix_time() {
+  return time(nullptr);  // FLAG:R1
+}
+
+}  // namespace fixture

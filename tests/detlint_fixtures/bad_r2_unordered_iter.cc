@@ -1,0 +1,24 @@
+// detlint fixture: R2 ordered-sink true positives — iteration over
+// unordered containers, whose hash order is not pinned by the standard and
+// differs across library versions (and, for pointer-ish keys, across
+// runs). Never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double sum_scores(const std::unordered_map<std::string, double>& scores) {
+  double total = 0.0;
+  for (const auto& [name, value] : scores) {  // FLAG:R2
+    total += value;
+  }
+  return total;
+}
+
+int first_id(const std::unordered_set<int>& ids) {
+  auto it = ids.begin();  // FLAG:R2
+  return it == ids.end() ? -1 : *it;
+}
+
+}  // namespace fixture

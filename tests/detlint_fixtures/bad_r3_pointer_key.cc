@@ -1,0 +1,22 @@
+// detlint fixture: R3 pointer-key true positives — ordered containers
+// keyed on raw pointers order by allocation address, which ASLR re-rolls
+// every run. Never compiled.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Session {
+  int id = 0;
+};
+
+class Tracker {
+ public:
+  void observe(const Session* session);
+
+ private:
+  std::map<const Session*, int> counts_;  // FLAG:R3
+  std::set<Session*> active_;             // FLAG:R3
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// detlint fixture: R4 fp-reduce true positives — library folds whose
+// accumulation order is implementation-defined (std::reduce explicitly
+// so), outside the sanctioned src/nn/ kernel layer. Never compiled.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double mean_ssim(const std::vector<double>& values) {
+  const double total =
+      std::accumulate(values.begin(), values.end(), 0.0);  // FLAG:R4
+  return values.empty() ? 0.0 : total / static_cast<double>(values.size());
+}
+
+double fast_sum(const std::vector<double>& values) {
+  return std::reduce(values.begin(), values.end());  // FLAG:R4
+}
+
+}  // namespace fixture

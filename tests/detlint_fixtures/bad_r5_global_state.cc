@@ -1,0 +1,15 @@
+// detlint fixture: R5 global-state true positives — mutable namespace-
+// scope state, shared by every session and thread in the process. Never
+// compiled.
+namespace fixture {
+
+int sessions_started = 0;           // FLAG:R5
+static double total_watch_s = 0.0;  // FLAG:R5
+bool debug_mode{false};             // FLAG:R5
+
+// Immutable and thread-confined declarations pass:
+constexpr int kMaxSessions = 4096;
+const double kDefaultQoe = 1.0;
+thread_local int scratch_rows = 0;
+
+}  // namespace fixture

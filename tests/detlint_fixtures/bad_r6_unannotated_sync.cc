@@ -1,0 +1,21 @@
+// detlint fixture: R6 unannotated-sync true positives — mutex/atomic
+// members that do not state their protocol (what the mutex guards, why
+// lock-free atomic access is safe). Never compiled.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void add(int64_t value);
+  int64_t total() const;
+
+ private:
+  std::mutex mutex_;               // FLAG:R6
+  std::atomic<int64_t> total_ = 0;  // FLAG:R6
+  int64_t calls_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// detlint fixture: malformed suppressions. A DETLINT-OK without a reason
+// string (or naming an unknown rule) is itself a finding, and the original
+// finding stays unsuppressed. Never compiled.
+namespace fixture {
+
+int counter = 0;  // DETLINT-OK(global-state) FLAG:R5 FLAG:SUPP
+int other = 0;    // DETLINT-OK(bogus-rule): reasons do not rescue bad tags FLAG:R5 FLAG:SUPP
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// detlint fixture: R1 patterns in a file the test allowlists via a
+// detlint.conf entry (the mechanism the real tree uses for bench timing
+// and env-var knobs). Must lint clean under that config. Never compiled.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+int bench_sessions() {
+  const char* env = std::getenv("FIXTURE_SESSIONS");
+  return env == nullptr ? 100 : 101;
+}
+
+long long bench_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// detlint fixture: representative clean code — ordered containers,
+// fixed-order floating-point loops, annotated synchronization members,
+// constants and thread-local scratch. Must produce zero findings and zero
+// suppressions. Never compiled.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+constexpr int kMaxSessions = 4096;
+const char* const kDefaultScheme = "fugu";
+thread_local std::vector<float> pack_scratch;
+
+class OrderedStats {
+ public:
+  void record(const std::string& name, double value) {
+    values_[name] = value;
+  }
+
+  double ordered_sum() const {
+    double total = 0.0;
+    for (const auto& [name, value] : values_) {
+      total += value;
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::string, double> values_;  // sorted key order: deterministic
+};
+
+class AnnotatedQueue {
+ public:
+  void push(int64_t value);
+
+ private:
+  Mutex mutex_ GUARDS(entries_);
+  std::vector<int64_t> entries_ GUARDED_BY(mutex_);
+  std::atomic<int64_t> approx_size_ ATOMIC_SAFE(
+      "monotonic counter read for stats only, never for results") = 0;
+};
+
+double fixed_order_sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); i++) {
+    total += values[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

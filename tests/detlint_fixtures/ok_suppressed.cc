@@ -1,0 +1,29 @@
+// detlint fixture: every pattern here matches a rule but carries a valid
+// DETLINT-OK suppression (both the trailing and the standalone-comment
+// form), so the file must lint clean with two suppressed findings. Never
+// compiled.
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Cache {
+ public:
+  double lookup(const std::string& key) const;
+
+ private:
+  std::mutex mutex_;  // DETLINT-OK(unannotated-sync): fixture placeholder — guards nothing yet
+  std::unordered_map<std::string, double> entries_;
+};
+
+int count_rows(const std::unordered_map<int, double>& rows) {
+  int total = 0;
+  // DETLINT-OK(ordered-sink): integer count — every visit order sums to the same value
+  for (const auto& [id, value] : rows) {
+    total += 1;
+  }
+  return total;
+}
+
+}  // namespace fixture

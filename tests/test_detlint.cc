@@ -1,0 +1,211 @@
+// Tests for tools/detlint: every fixture under tests/detlint_fixtures/
+// carries `FLAG:<rule>` markers on the lines the linter must flag; the
+// suite parses those markers back out and requires the findings to match
+// exactly (same lines, same rule ids, nothing extra). Suppression,
+// allowlist and built-in-exemption behavior is covered with the same
+// fixture contents relabeled onto sanctioned paths.
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detlint/detlint.hh"
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string{PUFFER_DETLINT_FIXTURES_DIR} + "/" + name;
+  std::ifstream in{path};
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+using LineRule = std::pair<int, std::string>;
+
+/// Expected findings, parsed from `FLAG:<rule>` markers in the fixture.
+std::vector<LineRule> parse_markers(const std::string& content) {
+  std::vector<LineRule> expected;
+  std::istringstream stream{content};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    line_no++;
+    size_t pos = 0;
+    while ((pos = line.find("FLAG:", pos)) != std::string::npos) {
+      pos += 5;
+      size_t end = pos;
+      while (end < line.size() &&
+             std::isalnum(static_cast<unsigned char>(line[end]))) {
+        end++;
+      }
+      expected.emplace_back(line_no, line.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  return expected;
+}
+
+std::vector<LineRule> finding_pairs(const detlint::FileReport& report) {
+  std::vector<LineRule> actual;
+  for (const detlint::Finding& finding : report.findings) {
+    actual.emplace_back(finding.line, finding.rule);
+  }
+  std::sort(actual.begin(), actual.end());
+  return actual;
+}
+
+/// Lint `file` under its own name and require findings == markers.
+detlint::FileReport expect_marked_findings(const std::string& file) {
+  const std::string content = read_fixture(file);
+  const detlint::FileReport report =
+      detlint::lint_file(file, content, detlint::Config{});
+  EXPECT_EQ(finding_pairs(report), parse_markers(content)) << file;
+  return report;
+}
+
+TEST(Detlint, R1EntropySourcesFlagged) {
+  const auto report = expect_marked_findings("bad_r1_entropy.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "nondet-source");
+}
+
+TEST(Detlint, R2UnorderedIterationFlagged) {
+  const auto report = expect_marked_findings("bad_r2_unordered_iter.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "ordered-sink");
+}
+
+TEST(Detlint, R3PointerKeysFlagged) {
+  const auto report = expect_marked_findings("bad_r3_pointer_key.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "pointer-key");
+}
+
+TEST(Detlint, R4LibraryFoldsFlagged) {
+  const auto report = expect_marked_findings("bad_r4_fp_reduce.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "fp-reduce");
+}
+
+TEST(Detlint, R5MutableGlobalsFlagged) {
+  const auto report = expect_marked_findings("bad_r5_global_state.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "global-state");
+}
+
+TEST(Detlint, R6UnannotatedSyncMembersFlagged) {
+  const auto report = expect_marked_findings("bad_r6_unannotated_sync.cc");
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().tag, "unannotated-sync");
+}
+
+TEST(Detlint, ValidSuppressionsSilenceFindings) {
+  const std::string content = read_fixture("ok_suppressed.cc");
+  const detlint::FileReport report =
+      detlint::lint_file("ok_suppressed.cc", content, detlint::Config{});
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.front().str();
+  EXPECT_EQ(report.suppressed.size(), 2u);  // trailing + standalone form
+}
+
+TEST(Detlint, MalformedSuppressionsAreFindings) {
+  // Missing ": reason" (or an unknown rule) is itself flagged, and the
+  // original finding stays live.
+  expect_marked_findings("bad_suppression.cc");
+}
+
+TEST(Detlint, AllowlistedFilePassesWithConfig) {
+  const std::string content = read_fixture("ok_allowlisted_io.cc");
+  // Without the config the file has R1 findings...
+  const detlint::FileReport bare =
+      detlint::lint_file("ok_allowlisted_io.cc", content, detlint::Config{});
+  EXPECT_FALSE(bare.findings.empty());
+  // ...with the allowlist entry it passes, counting the drops.
+  const detlint::Config config = detlint::parse_config(
+      "R1 ok_allowlisted_io.cc bench-style timing and env knobs\n");
+  const detlint::FileReport allowed =
+      detlint::lint_file("ok_allowlisted_io.cc", content, config);
+  EXPECT_TRUE(allowed.findings.empty());
+  EXPECT_EQ(allowed.allowlisted,
+            static_cast<int>(bare.findings.size()));
+}
+
+TEST(Detlint, DirectoryPrefixAllowlisting) {
+  const detlint::Config config =
+      detlint::parse_config("R1 bench/ wall-clock timing\n");
+  EXPECT_TRUE(config.allows("R1", "bench/fleet_scale.cc"));
+  EXPECT_FALSE(config.allows("R1", "src/sim/fleet.cc"));
+  EXPECT_FALSE(config.allows("R2", "bench/fleet_scale.cc"));
+}
+
+TEST(Detlint, CleanFixtureHasNoFindings) {
+  const std::string content = read_fixture("ok_clean.cc");
+  const detlint::FileReport report =
+      detlint::lint_file("ok_clean.cc", content, detlint::Config{});
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.front().str();
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(Detlint, RngImplementationIsExemptFromR1) {
+  // The same entropy-laden content relabeled as the sanctioned RNG module
+  // must not produce R1 findings (R5/R6 etc. still apply).
+  const std::string content = read_fixture("bad_r1_entropy.cc");
+  const detlint::FileReport report =
+      detlint::lint_file("src/util/rng.cc", content, detlint::Config{});
+  for (const detlint::Finding& finding : report.findings) {
+    EXPECT_NE(finding.rule, "R1") << finding.str();
+  }
+}
+
+TEST(Detlint, NnKernelLayerIsExemptFromR4) {
+  const std::string content = read_fixture("bad_r4_fp_reduce.cc");
+  const detlint::FileReport report =
+      detlint::lint_file("src/nn/reduce_kernels.cc", content,
+                         detlint::Config{});
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Detlint, ConfigRejectsEntriesWithoutReason) {
+  EXPECT_THROW(detlint::parse_config("R1 bench/foo.cc\n"),
+               std::runtime_error);
+  EXPECT_THROW(detlint::parse_config("R9 bench/foo.cc some reason\n"),
+               std::runtime_error);
+  EXPECT_NO_THROW(detlint::parse_config(
+      "# comment\n\nordered-sink src/x.cc reason text here\n"));
+}
+
+TEST(Detlint, RuleNamesNormalize) {
+  EXPECT_EQ(detlint::normalize_rule("R2"), "R2");
+  EXPECT_EQ(detlint::normalize_rule("ordered-sink"), "R2");
+  EXPECT_EQ(detlint::normalize_rule("nondet-source"), "R1");
+  EXPECT_EQ(detlint::normalize_rule("bogus"), "");
+  EXPECT_EQ(detlint::rule_tag("R6"), "unannotated-sync");
+}
+
+TEST(Detlint, StringsAndCommentsAreNotCode) {
+  // rand()/getenv inside string literals or comments must not fire; the
+  // raw-string form must not either.
+  const std::string content =
+      "namespace f {\n"
+      "const char* kHelp = \"rand() and getenv() are banned\";\n"
+      "// rand() in a comment\n"
+      "const char* kRaw = R\"(std::random_device inside raw)\";\n"
+      "}  // namespace f\n";
+  const detlint::FileReport report =
+      detlint::lint_file("doc.cc", content, detlint::Config{});
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.front().str();
+}
+
+}  // namespace

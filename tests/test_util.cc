@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.hh"
 #include "util/require.hh"
 #include "util/rng.hh"
 #include "util/running_stats.hh"
@@ -332,6 +333,28 @@ TEST(ThreadPool, DestructionAfterUnobservedExceptionIsSafe) {
   ThreadPool pool{2};
   pool.submit([] { throw std::runtime_error("never observed"); });
   // Destroying without wait() must discard the captured exception quietly.
+}
+
+TEST(JsonWriter, EscapesSpecialCharactersInStrings) {
+  EXPECT_EQ(bench::json_escape("plain"), "plain");
+  EXPECT_EQ(bench::json_escape("C:\\traces\\fcc18"), "C:\\\\traces\\\\fcc18");
+  EXPECT_EQ(bench::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(bench::json_escape("a\tb\nc\rd\be\ff"),
+            "a\\tb\\nc\\rd\\be\\ff");
+  EXPECT_EQ(bench::json_escape(std::string{"\x01\x1f"}), "\\u0001\\u001f");
+}
+
+TEST(JsonWriter, EmitsEscapedKeysAndValues) {
+  bench::JsonWriter json;
+  json.field("path", std::string{"out\\dir"});
+  json.field("quote\"key", std::string{"line1\nline2"});
+  json.field("count", 3);
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"path\": \"out\\\\dir\",\n"
+            "  \"quote\\\"key\": \"line1\\nline2\",\n"
+            "  \"count\": 3\n"
+            "}\n");
 }
 
 }  // namespace
