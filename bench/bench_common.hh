@@ -1,6 +1,7 @@
 #ifndef PUFFER_BENCH_BENCH_COMMON_HH
 #define PUFFER_BENCH_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -73,11 +74,39 @@ class JsonWriter {
     field(key, static_cast<int64_t>(value));
   }
   /// Fixed-point with `decimals` digits (0 emits an integer-looking value).
+  /// NaN and infinities (degenerate bench runs: zero-duration timers,
+  /// empty series) have no JSON representation — they serialize as null
+  /// rather than the bare `nan`/`inf` token snprintf would produce, which
+  /// no JSON parser accepts.
   void field(const std::string& key, const double value,
              const int decimals = 3) {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
-    fields_.emplace_back(key, buffer);
+    fields_.emplace_back(key, double_token(value, decimals));
+  }
+  /// Ordered JSON array of fixed-point numbers (the concurrency-curve
+  /// fields); non-finite entries become null like the scalar overload.
+  void field(const std::string& key, const std::vector<double>& values,
+             const int decimals = 3) {
+    std::string body = "[";
+    for (size_t i = 0; i < values.size(); i++) {
+      body += double_token(values[i], decimals);
+      if (i + 1 < values.size()) {
+        body += ", ";
+      }
+    }
+    body += "]";
+    fields_.emplace_back(key, std::move(body));
+  }
+  /// Ordered JSON array of integers.
+  void field(const std::string& key, const std::vector<int64_t>& values) {
+    std::string body = "[";
+    for (size_t i = 0; i < values.size(); i++) {
+      body += std::to_string(values[i]);
+      if (i + 1 < values.size()) {
+        body += ", ";
+      }
+    }
+    body += "]";
+    fields_.emplace_back(key, std::move(body));
   }
 
   [[nodiscard]] std::string str() const {
@@ -109,6 +138,15 @@ class JsonWriter {
   }
 
  private:
+  static std::string double_token(const double value, const int decimals) {
+    if (!std::isfinite(value)) {
+      return "null";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+  }
+
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 

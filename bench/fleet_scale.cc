@@ -1,18 +1,22 @@
 // fleet_scale: throughput of the fleet engine and of batched TTP inference.
 //
 //   ./fleet_scale [--smoke] [--sessions N] [--arrivals poisson|diurnal|flash-crowd]
-//                 [--rate R] [--threads T] [--json PATH]
+//                 [--rate R] [--threads T] [--shards S] [--json PATH]
 //
 // Part 1 microbenchmarks one ABR decision's worth of TTP inference three
 // ways — scalar forward_one per (step, rung), per-decision fused GEMMs, and
 // fleet-style coalescing across sessions — auditing that all three agree
-// bit for bit before timing them. Part 2 runs a fleet trial and reports
-// sessions/sec, chunks/sec and the concurrency profile next to the
-// session-sequential baseline. Results land in BENCH_fleet.json (override
-// with --json) so the perf trajectory accumulates data.
+// bit for bit before timing them. Part 2 runs a (sharded) fleet trial and
+// reports sessions/sec, chunks/sec and the concurrency profile next to the
+// session-sequential baseline, auditing that the merged trial is
+// bit-identical to it. Part 3 sweeps the sharded engine over a
+// sessions-scale curve (10^2 -> 10^6 synthetic sessions), auditing at each
+// point that the sharded run's merged load series matches the single-queue
+// run bit for bit. Results land in BENCH_fleet.json (override with --json)
+// so the perf trajectory accumulates data.
 //
 // --smoke shrinks everything to seconds and exits non-zero on any mismatch,
-// which is what CI runs.
+// which is what CI runs (with --shards 2 to keep the sharded path covered).
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "fugu/fugu.hh"
 #include "fugu/ttp_predictor.hh"
 #include "util/require.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -181,12 +186,105 @@ exp::SchemeFactory fleet_factory() {
   };
 }
 
+/// Minimal fleet task for the sessions-scale sweep: a fixed decision count
+/// with a per-session (deterministic) inter-decision gap and no inference,
+/// so the sweep times the engine itself — queues, sharding, load
+/// accounting — rather than ABR compute, and 10^6 sessions stay tractable.
+class SyntheticTask final : public sim::FleetTask {
+ public:
+  SyntheticTask(const int64_t id, const int decisions)
+      : decisions_left_(decisions),
+        gap_s_(0.5 + 0.001 * static_cast<double>(id % 97)) {}
+
+  Step prepare() override {
+    return decisions_left_ > 0 ? Step::kDecision : Step::kDone;
+  }
+  bool stage(fugu::TtpInferenceBatch& /*batch*/) override { return false; }
+  void finish_chunk() override {
+    elapsed_ += gap_s_;
+    decisions_left_--;
+  }
+  [[nodiscard]] double elapsed_s() const override { return elapsed_; }
+
+ private:
+  int64_t decisions_left_;
+  double gap_s_;
+  double elapsed_ = 0.0;
+};
+
+struct CurvePoint {
+  int64_t sessions = 0;
+  double wall_s = 0.0;
+  double chunks_per_s = 0.0;
+  int peak_concurrency = 0;
+  double mean_concurrency = 0.0;
+  bool shard_identical = false;  ///< sharded == single-queue, bitwise
+};
+
+/// Decisions per synthetic session in the sessions-scale sweep.
+constexpr int kCurveDecisions = 20;
+
+/// One sessions-scale sweep point: `sessions` synthetic sessions spread
+/// uniformly over an hour of virtual time, run sharded (timed) and with a
+/// single queue (audit baseline).
+CurvePoint run_curve_point(const int64_t sessions, const int threads,
+                           const int shards) {
+  std::vector<double> arrivals(static_cast<size_t>(sessions));
+  for (int64_t i = 0; i < sessions; i++) {
+    arrivals[static_cast<size_t>(i)] =
+        static_cast<double>(i) * (3600.0 / static_cast<double>(sessions));
+  }
+  const auto factory = [](const int64_t id,
+                          const int /*shard*/) -> std::unique_ptr<sim::FleetTask> {
+    return std::make_unique<SyntheticTask>(id, kCurveDecisions);
+  };
+
+  sim::FleetConfig sharded;
+  sharded.num_threads = threads;
+  sharded.num_shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  const sim::FleetRunStats run =
+      sim::FleetEngine{sharded}.run(arrivals, factory);
+  const double wall_s = seconds_since(start);
+
+  sim::FleetConfig single = sharded;
+  single.num_shards = 1;
+  const sim::FleetRunStats baseline =
+      sim::FleetEngine{single}.run(arrivals, factory);
+
+  CurvePoint point;
+  point.sessions = sessions;
+  point.wall_s = wall_s;
+  point.chunks_per_s = static_cast<double>(run.decisions) / wall_s;
+  point.peak_concurrency = run.load.peak();
+  point.mean_concurrency = run.load.time_weighted_mean();
+  point.shard_identical =
+      run.decisions == baseline.decisions &&
+      run.sessions == baseline.sessions &&
+      std::memcmp(&run.virtual_duration_s, &baseline.virtual_duration_s,
+                  sizeof(double)) == 0 &&
+      run.load.points().size() == baseline.load.points().size();
+  if (point.shard_identical) {
+    // Field-by-field (a whole-Point memcmp would read struct padding).
+    for (size_t i = 0; i < run.load.points().size(); i++) {
+      const auto& p = run.load.points()[i];
+      const auto& q = baseline.load.points()[i];
+      if (std::memcmp(&p.time_s, &q.time_s, sizeof(double)) != 0 ||
+          p.level != q.level) {
+        point.shard_identical = false;
+      }
+    }
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   int sessions = 200;
   int threads = 0;
+  int shards = 0;
   double rate = 0.2;
   std::string arrivals = "poisson";
   std::string json_path = "BENCH_fleet.json";
@@ -202,6 +300,8 @@ int main(int argc, char** argv) {
       sessions = std::atoi(next().c_str());
     } else if (arg == "--threads") {
       threads = std::atoi(next().c_str());
+    } else if (arg == "--shards") {
+      shards = std::atoi(next().c_str());
     } else if (arg == "--rate") {
       rate = std::atof(next().c_str());
     } else if (arg == "--arrivals") {
@@ -211,7 +311,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scale [--smoke] [--sessions N] [--threads T] "
-                   "[--rate R] [--arrivals KIND] [--json PATH]\n");
+                   "[--shards S] [--rate R] [--arrivals KIND] [--json PATH]\n");
       return 2;
     }
   }
@@ -238,13 +338,14 @@ int main(int argc, char** argv) {
   config.trial.seed = 20190119;
   config.trial.num_threads = threads;
   config.trial.stream.max_stream_chunks = smoke ? 60 : 400;
+  config.num_shards = shards;
   config.arrivals.kind = arrivals;
   config.arrivals.rate_per_s = rate;
 
   std::printf("\n== fleet engine: %zu schemes x %d sessions, %s arrivals "
-              "(rate %.3g/s) ==\n",
+              "(rate %.3g/s, %d threads, %d shards requested) ==\n",
               config.trial.schemes.size(), config.trial.sessions_per_scheme,
-              arrivals.c_str(), rate);
+              arrivals.c_str(), rate, threads, shards);
 
   auto start = std::chrono::steady_clock::now();
   const exp::TrialResult sequential =
@@ -295,6 +396,31 @@ int main(int argc, char** argv) {
               static_cast<long long>(fleet.fleet.coalesced_rows),
               static_cast<long long>(fleet.fleet.gemm_calls),
               static_cast<long long>(fleet.fleet.inline_decisions));
+  std::printf("  shards / workers    : %8d / %d\n", fleet.fleet.num_shards,
+              fleet.fleet.num_workers);
+
+  // Part 3: sessions-scale concurrency curve on the synthetic engine sweep,
+  // each point audited sharded-vs-single-queue.
+  std::vector<int64_t> curve_sessions = {100, 1'000, 10'000, 100'000,
+                                         1'000'000};
+  if (smoke) {
+    curve_sessions = {100, 1'000, 10'000};
+  }
+  std::printf("\n== sessions-scale curve (synthetic tasks, %d shards "
+              "requested) ==\n",
+              shards);
+  std::vector<CurvePoint> curve;
+  bool curve_identical = true;
+  for (const int64_t n : curve_sessions) {
+    curve.push_back(run_curve_point(n, threads, shards));
+    const CurvePoint& point = curve.back();
+    curve_identical = curve_identical && point.shard_identical;
+    std::printf("  %8lld sessions: %10.0f chunks/s, peak %7d, mean %10.1f, "
+                "%7.3f s wall, shard-identical %s\n",
+                static_cast<long long>(point.sessions), point.chunks_per_s,
+                point.peak_concurrency, point.mean_concurrency, point.wall_s,
+                point.shard_identical ? "yes" : "NO — MISMATCH");
+  }
 
   puffer::bench::JsonWriter json;
   json.field("bench", "fleet_scale");
@@ -313,9 +439,26 @@ int main(int argc, char** argv) {
   json.field("mean_concurrency", fleet.fleet.load.time_weighted_mean(), 2);
   json.field("coalesced_rows", static_cast<int64_t>(fleet.fleet.coalesced_rows));
   json.field("gemm_calls", static_cast<int64_t>(fleet.fleet.gemm_calls));
+  json.field("fleet_shards", fleet.fleet.num_shards);
+  json.field("fleet_workers", fleet.fleet.num_workers);
+  json.field("hardware_threads", puffer::ThreadPool::hardware_threads());
+  std::vector<int64_t> curve_chunk_rates, curve_peaks;
+  std::vector<double> curve_means, curve_walls;
+  for (const CurvePoint& point : curve) {
+    curve_chunk_rates.push_back(static_cast<int64_t>(point.chunks_per_s));
+    curve_peaks.push_back(point.peak_concurrency);
+    curve_means.push_back(point.mean_concurrency);
+    curve_walls.push_back(point.wall_s);
+  }
+  json.field("curve_sessions", curve_sessions);
+  json.field("curve_chunks_per_s", curve_chunk_rates);
+  json.field("curve_peak_concurrency", curve_peaks);
+  json.field("curve_mean_concurrency", curve_means, 1);
+  json.field("curve_wall_s", curve_walls, 3);
+  json.field("curve_shard_identical", curve_identical);
   json.write_file(json_path);
 
-  if (!inference.identical || !figures_identical) {
+  if (!inference.identical || !figures_identical || !curve_identical) {
     std::fprintf(stderr, "fleet_scale: BITWISE AUDIT FAILED\n");
     return 1;
   }

@@ -1,5 +1,6 @@
 #include "exp/fleet_trial.hh"
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -7,11 +8,23 @@
 #include "exp/parallel_trial.hh"
 #include "exp/session_task.hh"
 #include "net/scenario.hh"
+#include "util/object_pool.hh"
 #include "util/require.hh"
+#include "util/sync.hh"
+#include "util/thread_annotations.hh"
 
 namespace puffer::exp {
 
 namespace {
+
+/// Session tasks churn at fleet scale (one per arrival, up to 10^6 per
+/// run), but every task is allocated and freed on the worker that owns its
+/// shard, so a thread-confined arena turns that churn into free-list
+/// recycling: heap traffic is bounded by the shard's peak concurrency.
+BlockArena& task_arena() {
+  thread_local BlockArena arena;
+  return arena;
+}
 
 /// A SessionTask plus algorithm-instance pooling: sessions overlap in fleet
 /// time, so each active session needs its own algorithm instance; returning
@@ -21,6 +34,14 @@ namespace {
 /// sequential loop's reuse, so pooling cannot change results.)
 class PooledSessionTask final : public sim::FleetTask {
  public:
+  // Route the per-arrival task churn through the shard worker's arena.
+  static void* operator new(const std::size_t size) {
+    return task_arena().allocate(size);
+  }
+  static void operator delete(void* const ptr, const std::size_t size) {
+    task_arena().deallocate(ptr, size);
+  }
+
   PooledSessionTask(std::shared_ptr<const SessionPlan> plan,
                     std::unique_ptr<abr::AbrAlgorithm> algo,
                     const TrialConfig& config, SchemeResult& result,
@@ -48,6 +69,28 @@ class PooledSessionTask final : public sim::FleetTask {
   std::unique_ptr<abr::AbrAlgorithm> algo_;
   std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool_;
   SessionTask task_;
+};
+
+/// Mutable state a shard's worker owns exclusively: its schemes' algorithm
+/// free lists and the paired-mode plan cache. shard_group colocates a
+/// plan's per-scheme task copies on one shard, so the cache keeps its
+/// back-to-back hit pattern under sharding.
+struct ShardState {
+  std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>> pools;
+  int64_t cached_plan_index = -1;
+  std::shared_ptr<const SessionPlan> cached_plan;
+};
+
+/// Streaming ascending-order merge: shards complete sessions out of global
+/// order, but partials must fold into the TrialResult in session-index
+/// order to stay bit-identical to the sequential loop. The frontier tracks
+/// which sessions have completed and folds+frees every partial up to the
+/// first incomplete one, so unmerged partials are bounded by the frontier
+/// lag (≈ peak concurrency), not the session count.
+struct MergeFrontier {
+  Mutex mutex GUARDS(completed, next_to_merge);
+  std::vector<char> completed GUARDED_BY(mutex);
+  int64_t next_to_merge GUARDED_BY(mutex) = 0;
 };
 
 }  // namespace
@@ -93,22 +136,37 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     }
   }
 
-  // Per-task partial results, merged in task order below — the same
-  // ascending-session-index merge that makes the parallel runner
-  // bit-identical to the serial loop.
-  std::vector<SchemeResult> partials(static_cast<size_t>(num_tasks));
-  std::vector<size_t> scheme_of(static_cast<size_t>(num_tasks), 0);
-  std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>> pools(
-      trial_config.schemes.size());
+  sim::FleetConfig engine_config;
+  engine_config.num_threads =
+      ParallelTrialRunner::resolve_num_threads(trial_config.num_threads);
+  engine_config.num_shards = config.num_shards;
+  // Colocate a paired plan's per-scheme task copies on one shard: they
+  // share an immutable plan, and the cache hit needs them back-to-back.
+  engine_config.shard_group = trial_config.paired_paths ? num_schemes : 1;
+  engine_config.coalesce_inference = config.coalesce_inference;
+  engine_config.max_coalesced_sessions = config.max_coalesced_sessions;
+  engine_config.coalesce_window_s = config.coalesce_window_s;
+  const sim::FleetEngine engine{engine_config};
+  const int num_shards = engine.resolved_num_shards();
 
-  // Plan cache for paired mode: the schemes' tasks of one plan are created
-  // back-to-back (same arrival time, ascending task index) and share one
-  // immutable plan instance.
-  int64_t cached_plan_index = -1;
-  std::shared_ptr<const SessionPlan> cached_plan;
+  // Per-task partial results, folded into the TrialResult in ascending
+  // task order by the streaming frontier below — the same merge order that
+  // makes the parallel runner bit-identical to the serial loop. scheme_of
+  // and each partial are written by the owning shard's worker before it
+  // reports the completion under the frontier mutex, which is what makes
+  // them safe to read on whichever worker advances the frontier past them.
+  std::vector<std::unique_ptr<SchemeResult>> partials(
+      static_cast<size_t>(num_tasks));
+  std::vector<size_t> scheme_of(static_cast<size_t>(num_tasks), 0);
+  std::vector<ShardState> shards(static_cast<size_t>(num_shards));
+  for (ShardState& shard : shards) {
+    shard.pools.resize(trial_config.schemes.size());
+  }
 
   const auto task_factory =
-      [&](const int64_t task_index) -> std::unique_ptr<sim::FleetTask> {
+      [&](const int64_t task_index,
+          const int shard_index) -> std::unique_ptr<sim::FleetTask> {
+    ShardState& shard = shards[static_cast<size_t>(shard_index)];
     const int64_t plan_index = trial_config.paired_paths
                                    ? task_index / num_schemes
                                    : task_index;
@@ -116,12 +174,12 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     std::shared_ptr<const SessionPlan> plan;
     size_t scheme;
     if (trial_config.paired_paths) {
-      if (plan_index != cached_plan_index) {
-        cached_plan = std::make_shared<const SessionPlan>(
+      if (plan_index != shard.cached_plan_index) {
+        shard.cached_plan = std::make_shared<const SessionPlan>(
             make_session_plan(session_rng, users, *paths));
-        cached_plan_index = plan_index;
+        shard.cached_plan_index = plan_index;
       }
-      plan = cached_plan;
+      plan = shard.cached_plan;
       scheme = static_cast<size_t>(task_index % num_schemes);
     } else {
       plan = std::make_shared<const SessionPlan>(
@@ -134,7 +192,7 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     scheme_of[static_cast<size_t>(task_index)] = scheme;
 
     std::unique_ptr<abr::AbrAlgorithm> algo;
-    auto& pool = pools[scheme];
+    auto& pool = shard.pools[scheme];
     if (!pool.empty()) {
       algo = std::move(pool.back());
       pool.pop_back();
@@ -143,27 +201,39 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
       require(algo != nullptr, "run_fleet_trial: factory returned null for '" +
                                    trial_config.schemes[scheme] + "'");
     }
+    auto& partial = partials[static_cast<size_t>(task_index)];
+    partial = std::make_unique<SchemeResult>();
     return std::make_unique<PooledSessionTask>(
-        std::move(plan), std::move(algo), trial_config,
-        partials[static_cast<size_t>(task_index)], pool);
+        std::move(plan), std::move(algo), trial_config, *partial, pool);
   };
 
-  sim::FleetConfig engine_config;
-  engine_config.num_threads =
-      ParallelTrialRunner::resolve_num_threads(trial_config.num_threads);
-  engine_config.coalesce_inference = config.coalesce_inference;
-  engine_config.max_coalesced_sessions = config.max_coalesced_sessions;
-  engine_config.coalesce_window_s = config.coalesce_window_s;
-
   FleetTrialResult result;
-  result.fleet = sim::FleetEngine{engine_config}.run(task_arrivals,
-                                                     task_factory);
-
   result.trial.schemes = detail::empty_scheme_results(trial_config);
-  for (int64_t t = 0; t < num_tasks; t++) {
-    detail::append_scheme_result(
-        result.trial.schemes[scheme_of[static_cast<size_t>(t)]],
-        partials[static_cast<size_t>(t)]);
+
+  MergeFrontier frontier;
+  {
+    const MutexLock lock{frontier.mutex};
+    frontier.completed.assign(static_cast<size_t>(num_tasks), 0);
+  }
+  const auto on_complete = [&](const int64_t task_index, const int /*shard*/) {
+    const MutexLock lock{frontier.mutex};
+    frontier.completed[static_cast<size_t>(task_index)] = 1;
+    while (frontier.next_to_merge < num_tasks &&
+           frontier.completed[static_cast<size_t>(frontier.next_to_merge)] !=
+               0) {
+      const auto t = static_cast<size_t>(frontier.next_to_merge);
+      detail::append_scheme_result(result.trial.schemes[scheme_of[t]],
+                                   *partials[t]);
+      partials[t].reset();  // frees the partial at the frontier
+      frontier.next_to_merge++;
+    }
+  };
+
+  result.fleet = engine.run(task_arrivals, task_factory, on_complete);
+  {
+    const MutexLock lock{frontier.mutex};
+    require(frontier.next_to_merge == num_tasks,
+            "run_fleet_trial: merge frontier did not drain");
   }
   return result;
 }

@@ -16,12 +16,21 @@ namespace puffer::exp {
 /// own path, TCP connection, viewer and per-session RNG), so the fleet's
 /// interleaving cannot change any session's results — the merged
 /// TrialResult is bit-identical to the session-sequential run_trial at any
-/// thread count, with or without coalesced inference. What the fleet adds
-/// is the load dimension: a concurrency time series and fused-GEMM batched
-/// inference across concurrently-deciding sessions.
+/// thread count AND any shard count, with or without coalesced inference.
+/// Partial results are appended to the merged TrialResult in ascending
+/// session-index order as a streaming frontier (a completed session's
+/// partial is folded in and freed as soon as every earlier session has
+/// finished), so the resident footprint tracks peak concurrency, not
+/// session count. What the fleet adds is the load dimension: a concurrency
+/// time series and fused-GEMM batched inference across
+/// concurrently-deciding sessions.
 struct FleetTrialConfig {
   TrialConfig trial;           ///< trial.num_threads drives the engine too
   sim::ArrivalSpec arrivals;   ///< session-arrival process on virtual time
+  /// Event-queue shards (0 = one per worker thread). Per-session results
+  /// and the merged trial are bit-identical at any value; only the
+  /// batching counters (per-shard coalescing windows) vary with it.
+  int num_shards = 0;
   bool coalesce_inference = true;
   int max_coalesced_sessions = 64;
   double coalesce_window_s = 0.25;

@@ -92,6 +92,7 @@ bool SessionTask::stage(fugu::TtpInferenceBatch& batch) {
   if (batch_predictor_ == nullptr) {
     return false;
   }
+  require(stream_.has_value(), "SessionTask: no decision pending");
   batch_predictor_->stage(stream_->observation(), stream_->lookahead(),
                           mpc_horizon_, batch);
   return true;

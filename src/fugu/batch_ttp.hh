@@ -50,6 +50,10 @@ class TtpInferenceBatch {
   void clear();
 
   [[nodiscard]] int64_t rows_pending() const { return rows_pending_; }
+  /// Distinct (model, step) row groups resolved so far. Group buffers stay
+  /// warm across clear(), so this is also the batch's steady-state buffer
+  /// footprint — each fleet shard owns one batch and reports it.
+  [[nodiscard]] size_t num_groups() const { return groups_.size(); }
   /// Cumulative counters (survive clear()) for bench/fleet statistics.
   [[nodiscard]] int64_t total_rows() const { return total_rows_; }
   [[nodiscard]] int64_t total_forward_calls() const { return total_forwards_; }

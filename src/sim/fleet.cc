@@ -13,92 +13,90 @@ namespace puffer::sim {
 
 namespace {
 
-/// A session parked at a decision, due on the global timeline at `time_s`.
-/// Ties break on session index so the queue pop order — and therefore
-/// batch membership — is a pure function of the event set.
+/// A session parked at a decision, due on the shard's timeline at `time_s`.
+/// Ties break on the shard-local session slot; slots are assigned in
+/// ascending global-session order, so the pop order — and therefore batch
+/// membership — is the single-queue order restricted to the shard.
 struct Event {
   double time_s = 0.0;
-  int64_t session = 0;
+  int64_t slot = 0;
 
   bool operator>(const Event& other) const {
     if (time_s != other.time_s) {
       return time_s > other.time_s;
     }
-    return session > other.session;
+    return slot > other.slot;
   }
 };
 
 using EventQueue =
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
 
-}  // namespace
-
-FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
-  require(config_.max_coalesced_sessions >= 1,
-          "FleetEngine: max_coalesced_sessions must be >= 1");
-  require(config_.coalesce_window_s >= 0.0,
-          "FleetEngine: coalesce window must be >= 0");
-}
-
-FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
-                               const TaskFactory& factory) const {
-  for (size_t i = 0; i + 1 < arrivals.size(); i++) {
-    require(arrivals[i] <= arrivals[i + 1],
-            "FleetEngine: arrivals must be sorted ascending");
-  }
-  const int workers = std::max(
-      1, config_.num_threads <= 0 ? ThreadPool::hardware_threads()
-                                  : config_.num_threads);
-
-  FleetRunStats stats;
-  std::vector<std::unique_ptr<FleetTask>> tasks(arrivals.size());
-  std::vector<double> arrival_time(arrivals.size(), 0.0);
+/// Drive one shard's sessions to completion on the calling thread.
+/// `sessions` holds the shard's global session indices in ascending order;
+/// `arrivals` is the full (global) arrival-time array. `phase_c_pool` (only
+/// non-null in the single-shard configuration) stripes each decision batch
+/// across `phase_c_workers` threads, the PR 4 scheme. The shard's stats —
+/// including its share of the load-series deltas — accumulate into `stats`,
+/// which the caller owns exclusively for this shard; stats.load is left
+/// un-finalized so the caller can merge shards before folding.
+void run_shard(const FleetConfig& config,
+               const std::span<const double> arrivals,
+               const std::span<const int64_t> sessions,
+               const FleetEngine::TaskFactory& factory,
+               const FleetEngine::CompletionSink& on_complete, const int shard,
+               const int phase_c_workers, ThreadPool* phase_c_pool,
+               FleetRunStats& stats) {
+  std::vector<std::unique_ptr<FleetTask>> tasks(sessions.size());
+  std::vector<double> arrival_time(sessions.size(), 0.0);
   EventQueue queue;
   size_t next_arrival = 0;
 
   fugu::TtpInferenceBatch shared_batch;
   std::vector<Event> batch;
-  std::vector<char> staged;       // per batch entry: rows went to shared_batch
-  std::vector<char> completed;    // per batch entry: task finished
-  std::unique_ptr<ThreadPool> pool;
-  if (workers > 1) {
-    pool = std::make_unique<ThreadPool>(workers);
-  }
+  std::vector<char> staged;     // per batch entry: rows went to shared_batch
+  std::vector<char> completed;  // per batch entry: task finished
 
-  // Start (or finish) a freshly-arrived or freshly-resumed task; returns
-  // true if the session completed.
-  const auto schedule_or_complete = [&](const int64_t id) {
-    FleetTask& task = *tasks[static_cast<size_t>(id)];
-    if (task.prepare() == FleetTask::Step::kDecision) {
-      queue.push(Event{arrival_time[static_cast<size_t>(id)] + task.elapsed_s(),
-                       id});
-      return false;
-    }
-    const double end_time =
-        arrival_time[static_cast<size_t>(id)] + task.elapsed_s();
+  // Tear down a finished session: record the completion, free the task
+  // (slot memory is recycled by the caller's pool via on_complete).
+  const auto complete = [&](const size_t slot, const double end_time) {
     stats.load.add(end_time, -1);
     stats.virtual_duration_s = std::max(stats.virtual_duration_s, end_time);
-    tasks[static_cast<size_t>(id)].reset();
-    return true;
+    tasks[slot].reset();
+    if (on_complete) {
+      on_complete(sessions[slot], shard);
+    }
   };
 
-  while (!queue.empty() || next_arrival < arrivals.size()) {
+  // Start (or finish) a freshly-arrived task.
+  const auto schedule_or_complete = [&](const size_t slot) {
+    FleetTask& task = *tasks[slot];
+    if (task.prepare() == FleetTask::Step::kDecision) {
+      queue.push(Event{arrival_time[slot] + task.elapsed_s(),
+                       static_cast<int64_t>(slot)});
+      return;
+    }
+    complete(slot, arrival_time[slot] + task.elapsed_s());
+  };
+
+  while (!queue.empty() || next_arrival < sessions.size()) {
     // Admit every arrival due before the next pending decision.
-    if (!queue.empty() && next_arrival < arrivals.size() &&
-        arrivals[next_arrival] > queue.top().time_s) {
+    if (!queue.empty() && next_arrival < sessions.size() &&
+        arrivals[static_cast<size_t>(sessions[next_arrival])] >
+            queue.top().time_s) {
       // fall through to decision processing
-    } else if (next_arrival < arrivals.size()) {
-      const auto id = static_cast<int64_t>(next_arrival);
-      const double t = arrivals[next_arrival];
+    } else if (next_arrival < sessions.size()) {
+      const size_t slot = next_arrival;
+      const int64_t id = sessions[slot];
+      const double t = arrivals[static_cast<size_t>(id)];
       next_arrival++;
-      tasks[static_cast<size_t>(id)] = factory(id);
-      require(tasks[static_cast<size_t>(id)] != nullptr,
-              "FleetEngine: factory returned null");
-      arrival_time[static_cast<size_t>(id)] = t;
+      tasks[slot] = factory(id, shard);
+      require(tasks[slot] != nullptr, "FleetEngine: factory returned null");
+      arrival_time[slot] = t;
       stats.sessions++;
       stats.load.add(t, +1);
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
-      schedule_or_complete(id);
+      schedule_or_complete(slot);
       continue;
     }
 
@@ -108,10 +106,10 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
     batch.clear();
     batch.push_back(queue.top());
     queue.pop();
-    const double window_end = batch.front().time_s + config_.coalesce_window_s;
+    const double window_end = batch.front().time_s + config.coalesce_window_s;
     while (!queue.empty() && queue.top().time_s <= window_end &&
            batch.size() <
-               static_cast<size_t>(config_.max_coalesced_sessions)) {
+               static_cast<size_t>(config.max_coalesced_sessions)) {
       batch.push_back(queue.top());
       queue.pop();
     }
@@ -120,14 +118,14 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
     // deterministic batch order.
     shared_batch.clear();
     staged.assign(batch.size(), 0);
-    if (config_.coalesce_inference) {
+    if (config.coalesce_inference) {
       const int64_t rows_before = shared_batch.total_rows();
       const int64_t forwards_before = shared_batch.total_forward_calls();
       for (size_t i = 0; i < batch.size(); i++) {
-        staged[i] = tasks[static_cast<size_t>(batch[i].session)]->stage(
-                        shared_batch)
-                        ? 1
-                        : 0;
+        staged[i] =
+            tasks[static_cast<size_t>(batch[i].slot)]->stage(shared_batch)
+                ? 1
+                : 0;
       }
       // Phase B: one fused forward pass per (model, step) group across
       // every staged session.
@@ -138,25 +136,27 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
       stats.gemm_calls += shared_batch.total_forward_calls() - forwards_before;
     }
 
-    // Phase C (parallel): complete each decision and advance its session to
-    // the next decision point. Tasks only touch their own state and read
-    // the shared batch, so any thread assignment is bit-identical.
+    // Phase C: complete each decision and advance its session to the next
+    // decision point. Tasks only touch their own state and read the shared
+    // batch, so any thread assignment is bit-identical. Striped across the
+    // pool in the single-shard configuration; serial on this shard's worker
+    // otherwise (shards, not stripes, are the parallelism then).
     completed.assign(batch.size(), 0);
     const auto process = [&](const size_t i) {
-      FleetTask& task = *tasks[static_cast<size_t>(batch[i].session)];
+      FleetTask& task = *tasks[static_cast<size_t>(batch[i].slot)];
       task.finish_chunk();
       completed[i] = task.prepare() == FleetTask::Step::kDone ? 1 : 0;
     };
-    if (pool != nullptr && batch.size() > 1) {
-      for (int w = 0; w < workers; w++) {
-        pool->submit([&, w] {
+    if (phase_c_pool != nullptr && batch.size() > 1) {
+      for (int w = 0; w < phase_c_workers; w++) {
+        phase_c_pool->submit([&, w] {
           for (size_t i = static_cast<size_t>(w); i < batch.size();
-               i += static_cast<size_t>(workers)) {
+               i += static_cast<size_t>(phase_c_workers)) {
             process(i);
           }
         });
       }
-      pool->wait();
+      phase_c_pool->wait();
     } else {
       for (size_t i = 0; i < batch.size(); i++) {
         process(i);
@@ -165,24 +165,118 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
 
     // Phase D (serial, batch order): record bookkeeping and requeue.
     for (size_t i = 0; i < batch.size(); i++) {
-      const int64_t id = batch[i].session;
+      const auto slot = static_cast<size_t>(batch[i].slot);
       stats.decisions++;
       if (staged[i] == 0) {
         stats.inline_decisions++;
       }
-      const double t =
-          arrival_time[static_cast<size_t>(id)] +
-          tasks[static_cast<size_t>(id)]->elapsed_s();
+      const double t = arrival_time[slot] + tasks[slot]->elapsed_s();
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
       if (completed[i] != 0) {
-        stats.load.add(t, -1);
-        tasks[static_cast<size_t>(id)].reset();
+        complete(slot, t);
       } else {
-        queue.push(Event{t, id});
+        queue.push(Event{t, batch[i].slot});
       }
     }
   }
+}
 
+}  // namespace
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+  require(config_.max_coalesced_sessions >= 1,
+          "FleetEngine: max_coalesced_sessions must be >= 1");
+  require(config_.coalesce_window_s >= 0.0,
+          "FleetEngine: coalesce window must be >= 0");
+  require(config_.num_shards >= 0, "FleetEngine: num_shards must be >= 0");
+  require(config_.shard_group >= 1, "FleetEngine: shard_group must be >= 1");
+}
+
+int FleetEngine::resolved_num_threads() const {
+  return std::max(1, config_.num_threads <= 0 ? ThreadPool::hardware_threads()
+                                              : config_.num_threads);
+}
+
+int FleetEngine::resolved_num_shards() const {
+  return config_.num_shards <= 0 ? resolved_num_threads()
+                                 : config_.num_shards;
+}
+
+int FleetEngine::shard_of(const int64_t session_index) const {
+  return static_cast<int>((session_index / config_.shard_group) %
+                          resolved_num_shards());
+}
+
+FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
+                               const TaskFactory& factory,
+                               const CompletionSink& on_complete) const {
+  for (size_t i = 0; i + 1 < arrivals.size(); i++) {
+    require(arrivals[i] <= arrivals[i + 1],
+            "FleetEngine: arrivals must be sorted ascending");
+  }
+  const int workers = resolved_num_threads();
+  const int shards = resolved_num_shards();
+
+  if (shards == 1) {
+    // Single queue: workers stripe within each decision batch (PR 4 path).
+    std::vector<int64_t> all(arrivals.size());
+    for (size_t i = 0; i < all.size(); i++) {
+      all[i] = static_cast<int64_t>(i);
+    }
+    std::unique_ptr<ThreadPool> pool;
+    if (workers > 1) {
+      pool = std::make_unique<ThreadPool>(workers);
+    }
+    FleetRunStats stats;
+    run_shard(config_, arrivals, all, factory, on_complete, /*shard=*/0,
+              workers, pool.get(), stats);
+    stats.num_shards = 1;
+    stats.num_workers = workers;
+    stats.load.finalize();
+    return stats;
+  }
+
+  // Sharded: partition sessions by index, one independent event queue per
+  // shard, one ThreadPool job per shard submitted in ascending shard order
+  // (so the lowest failing shard's exception is the one wait() rethrows).
+  // Each job writes only its own pre-indexed shard_stats slot; the pool's
+  // wait() provides the happens-before for the serial merge below.
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(shards));
+  for (size_t i = 0; i < arrivals.size(); i++) {
+    members[static_cast<size_t>(shard_of(static_cast<int64_t>(i)))]
+        .push_back(static_cast<int64_t>(i));
+  }
+  std::vector<FleetRunStats> shard_stats(static_cast<size_t>(shards));
+  {
+    ThreadPool pool{std::min(workers, shards)};
+    for (int s = 0; s < shards; s++) {
+      pool.submit([this, s, arrivals, &members, &factory, &on_complete,
+                   &shard_stats] {
+        run_shard(config_, arrivals, members[static_cast<size_t>(s)], factory,
+                  on_complete, s, /*phase_c_workers=*/1,
+                  /*phase_c_pool=*/nullptr,
+                  shard_stats[static_cast<size_t>(s)]);
+      });
+    }
+    pool.wait();
+  }
+
+  // Merge in ascending shard order. Counter sums and the load-series delta
+  // multiset are partition-invariant, so everything except the shard-local
+  // batching counters is bit-identical to the single-queue run.
+  FleetRunStats stats;
+  stats.num_shards = shards;
+  stats.num_workers = std::min(workers, shards);
+  for (const FleetRunStats& shard : shard_stats) {
+    stats.sessions += shard.sessions;
+    stats.decisions += shard.decisions;
+    stats.coalesced_rows += shard.coalesced_rows;
+    stats.gemm_calls += shard.gemm_calls;
+    stats.inline_decisions += shard.inline_decisions;
+    stats.virtual_duration_s =
+        std::max(stats.virtual_duration_s, shard.virtual_duration_s);
+    stats.load.merge_from(shard.load);
+  }
   stats.load.finalize();
   return stats;
 }

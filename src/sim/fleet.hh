@@ -19,8 +19,8 @@ namespace puffer::sim {
 /// completion; between those, every call sequence is
 ///   prepare() -> [stage()] -> finish_chunk() -> prepare() -> ...
 /// Tasks must be mutually independent (no shared mutable state): that is
-/// what makes the fleet interleaving — and its thread count — unable to
-/// affect any task's results.
+/// what makes the fleet interleaving — and its thread or shard count —
+/// unable to affect any task's results.
 class FleetTask {
  public:
   enum class Step {
@@ -48,11 +48,25 @@ class FleetTask {
 };
 
 struct FleetConfig {
-  /// Worker threads for processing a batch of decisions. 0 = all hardware
-  /// threads. Any value yields bit-identical results: tasks are
-  /// independent, batch membership is determined by the (deterministic)
-  /// event queue alone, and results land in pre-indexed slots.
+  /// Worker threads. 0 = all hardware threads. With one shard, workers
+  /// stripe each decision batch (the PR 4 scheme); with more shards each
+  /// worker drives whole shards. Any value yields bit-identical per-session
+  /// results: tasks are independent and results land in pre-indexed slots.
   int num_threads = 1;
+  /// Event-queue shards. Sessions are assigned to shards by session index
+  /// (see shard_group); each shard owns its own event queue, virtual clock,
+  /// and TTP coalescing window, and runs serially on one worker. 0 = one
+  /// shard per resolved worker thread. Per-session results are bit-identical
+  /// at any shard count; the batching *counters* (gemm_calls,
+  /// coalesced_rows, inline_decisions) legitimately depend on shard-local
+  /// batch membership and match only between runs with equal shard counts.
+  int num_shards = 1;
+  /// Consecutive sessions per shard-assignment block:
+  /// shard_of(s) = (s / shard_group) % num_shards. Callers that create
+  /// session groups back-to-back (paired trials create one task per scheme
+  /// per plan) set this to the group size so a group's tasks — which share
+  /// an immutable plan — land on one shard and can share its cache.
+  int64_t shard_group = 1;
   /// Fuse TTP inference of concurrently-deciding sessions into shared
   /// GEMMs. Off, every decision still uses its scheme's own (per-decision
   /// batched) path; results are identical either way.
@@ -71,32 +85,67 @@ struct FleetRunStats {
   int64_t coalesced_rows = 0;    ///< TTP rows answered via shared batches
   int64_t gemm_calls = 0;        ///< fused forward passes run
   int64_t inline_decisions = 0;  ///< decisions that ran inference inline
+  int num_shards = 0;            ///< event-queue shards the run used
+  int num_workers = 0;           ///< worker threads the run used
   double virtual_duration_s = 0.0;  ///< global time of the last event
   stats::LoadSeries load;  ///< concurrent sessions over virtual time
 };
 
 /// Discrete-event fleet scheduler: interleaves thousands of concurrent
-/// sessions on one virtual timeline via a global event queue — the
-/// simulated counterpart of Puffer's ~100-sessions-day-and-night deployment
-/// (Figure 2) instead of the one-stream-at-a-time trial loop. Sessions
-/// arrive per an ArrivalProcess-sampled schedule, progress one chunk
-/// decision per event, and (when coalescing is on) have the TTP inference
-/// of near-simultaneous decisions fused into single GEMMs.
+/// sessions on one virtual timeline — the simulated counterpart of Puffer's
+/// ~100-sessions-day-and-night deployment (Figure 2) instead of the
+/// one-stream-at-a-time trial loop. Sessions arrive per an
+/// ArrivalProcess-sampled schedule, progress one chunk decision per event,
+/// and (when coalescing is on) have the TTP inference of near-simultaneous
+/// decisions fused into single GEMMs.
+///
+/// Sharding: with num_shards > 1 the session population is partitioned by
+/// session index and each shard runs its own event queue, virtual clock and
+/// coalescing window on a dedicated ThreadPool worker. Sessions never
+/// interact, so a shard's event interleaving is exactly the interleaving
+/// the single queue would have produced restricted to that shard's
+/// sessions — per-session results, the merged load series (shards merge
+/// their +1/-1 delta multisets), sessions/decisions counts and the virtual
+/// duration are all bit-identical to the sequential single-queue run at any
+/// shard count. Shard jobs are submitted in ascending shard order, so a
+/// failure surfaces deterministically as the lowest failing shard's
+/// exception (ThreadPool rethrows by submission index).
 class FleetEngine {
  public:
-  /// Invoked once per arrival, in arrival order, to build session
-  /// `session_index`'s task. Must not return null.
-  using TaskFactory = std::function<std::unique_ptr<FleetTask>(int64_t)>;
+  /// Invoked once per arrival to build session `session_index`'s task, on
+  /// the worker driving shard `shard`. Must not return null. Arrival order
+  /// holds *within* a shard; with num_shards > 1, calls for sessions of
+  /// different shards run concurrently, so a factory's mutable state must
+  /// be per-shard (keyed by `shard`) or otherwise synchronized.
+  using TaskFactory =
+      std::function<std::unique_ptr<FleetTask>(int64_t session_index,
+                                               int shard)>;
+
+  /// Invoked after a session's task completed and was destroyed, on the
+  /// worker driving `shard` — completion order holds within a shard only.
+  /// Callers use this to recycle per-session state or stream partial
+  /// results into a merge frontier (which must be lock-protected).
+  using CompletionSink = std::function<void(int64_t session_index, int shard)>;
 
   explicit FleetEngine(FleetConfig config = {});
 
   /// Run one task per entry of `arrivals` (ascending global arrival
   /// times). Returns the run's statistics; per-session results are
-  /// wherever the factory's tasks wrote them.
+  /// wherever the factory's tasks wrote them. `on_complete` (optional) is
+  /// called once per completed session.
   FleetRunStats run(std::span<const double> arrivals,
-                    const TaskFactory& factory) const;
+                    const TaskFactory& factory,
+                    const CompletionSink& on_complete = nullptr) const;
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+  /// Worker threads run() will use (num_threads resolved against hardware).
+  [[nodiscard]] int resolved_num_threads() const;
+  /// Event-queue shards run() will use (num_shards == 0 resolves to the
+  /// worker count).
+  [[nodiscard]] int resolved_num_shards() const;
+  /// The shard session `session_index`'s task will run on.
+  [[nodiscard]] int shard_of(int64_t session_index) const;
 
  private:
   FleetConfig config_;

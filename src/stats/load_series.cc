@@ -11,59 +11,99 @@ void LoadSeries::add(const double time_s, const int delta) {
   finalized_ = false;
 }
 
+void LoadSeries::merge_from(const LoadSeries& other) {
+  require(&other != this, "LoadSeries: cannot merge a series into itself");
+  deltas_.reserve(deltas_.size() + other.points_.size() +
+                  other.deltas_.size());
+  // A folded point list is itself a delta encoding (each point changes the
+  // level from its predecessor's), so a finalized shard merges losslessly.
+  int previous = 0;
+  for (const Point& p : other.points_) {
+    deltas_.emplace_back(p.time_s, p.level - previous);
+    previous = p.level;
+  }
+  deltas_.insert(deltas_.end(), other.deltas_.begin(), other.deltas_.end());
+  finalized_ = false;
+}
+
 void LoadSeries::finalize() {
   if (finalized_) {
     return;
   }
-  std::vector<std::pair<double, int>> sorted = deltas_;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sort only the new deltas (pairs order by time, then delta — a
+  // deterministic total order, though equal-time entries merge by sum and
+  // their relative order cannot matter); already-folded points stay sorted
+  // and are decoded back into deltas on the fly during the merge sweep.
+  std::sort(deltas_.begin(), deltas_.end());
 
-  points_.clear();
-  int level = 0;
-  for (size_t i = 0; i < sorted.size();) {
-    const double t = sorted[i].first;
-    while (i < sorted.size() && sorted[i].first == t) {
-      level += sorted[i].second;
-      i++;
+  std::vector<Point> folded;
+  folded.reserve(points_.size() + deltas_.size());
+  peak_ = 0;
+  integral_ = 0.0;
+  size_t pi = 0;  // cursor into points_ (old folded step function)
+  size_t di = 0;  // cursor into deltas_ (sorted pending events)
+  int old_level = 0;  // running level of the old points stream
+  int level = 0;      // running level of the merged series
+  while (pi < points_.size() || di < deltas_.size()) {
+    double t;
+    if (pi < points_.size() &&
+        (di >= deltas_.size() || points_[pi].time_s <= deltas_[di].first)) {
+      t = points_[pi].time_s;
+    } else {
+      t = deltas_[di].first;
     }
-    const int previous = points_.empty() ? 0 : points_.back().level;
+    // Fold every event at time t, from both streams, into one level move.
+    if (pi < points_.size() && points_[pi].time_s == t) {
+      level += points_[pi].level - old_level;
+      old_level = points_[pi].level;
+      pi++;
+    }
+    while (di < deltas_.size() && deltas_[di].first == t) {
+      level += deltas_[di].second;
+      di++;
+    }
+    const int previous = folded.empty() ? 0 : folded.back().level;
     if (level == previous) {
       continue;  // merged deltas cancelled out; the step did not move
     }
-    points_.push_back({t, level});
+    // Single-pass aggregation: peak and the level integral accumulate as
+    // the step function is built, so the queries below stay O(1) however
+    // large the fleet run was.
+    if (!folded.empty()) {
+      integral_ += static_cast<double>(folded.back().level) *
+                   (t - folded.back().time_s);
+    }
+    folded.push_back({t, level});
+    peak_ = std::max(peak_, level);
   }
+  points_ = std::move(folded);
+  deltas_.clear();
+  deltas_.shrink_to_fit();
   finalized_ = true;
 }
 
 const std::vector<LoadSeries::Point>& LoadSeries::points() const {
-  require(finalized_ || deltas_.empty(), "LoadSeries: finalize() first");
+  require(finalized_ || empty(), "LoadSeries: finalize() first");
   return points_;
 }
 
 int LoadSeries::peak() const {
-  int peak_level = 0;
-  for (const Point& p : points()) {
-    peak_level = std::max(peak_level, p.level);
-  }
-  return peak_level;
+  static_cast<void>(points());  // enforce the finalized-series contract
+  return peak_;
 }
 
 double LoadSeries::time_weighted_mean() const {
   const std::vector<Point>& pts = points();
-  if (pts.size() < 2) {
+  if (pts.empty()) {
     return 0.0;
   }
   const double span = pts.back().time_s - pts.front().time_s;
   if (span <= 0.0) {
-    return 0.0;
+    // Degenerate span (a single point: same-time deltas always merge):
+    // the step function is the constant it ends at, which is its own mean.
+    return static_cast<double>(pts.back().level);
   }
-  double integral = 0.0;
-  for (size_t i = 0; i + 1 < pts.size(); i++) {
-    integral += static_cast<double>(pts[i].level) *
-                (pts[i + 1].time_s - pts[i].time_s);
-  }
-  return integral / span;
+  return integral_ / span;
 }
 
 int LoadSeries::level_at(const double time_s) const {
@@ -72,7 +112,7 @@ int LoadSeries::level_at(const double time_s) const {
       pts.begin(), pts.end(), time_s,
       [](const double t, const Point& p) { return t < p.time_s; });
   if (after == pts.begin()) {
-    return 0;
+    return 0;  // pinned: no session exists before the first recorded event
   }
   return std::prev(after)->level;
 }

@@ -42,7 +42,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> job) {
   {
     const MutexLock lock{mutex_};
-    queue_.push_back(std::move(job));
+    queue_.push_back(Job{next_job_index_, std::move(job)});
+    next_job_index_++;
     unfinished_++;
   }
   work_available_.notify_one();
@@ -55,6 +56,9 @@ void ThreadPool::wait() {
     while (unfinished_ != 0) {
       all_done_.wait(lock);
     }
+    // Every job submitted so far has finished, so among the batch's
+    // failures the lowest submission index has been settled — rethrowing it
+    // is deterministic no matter which worker failed first on the clock.
     error = std::exchange(first_error_, nullptr);
   }
   if (error) {
@@ -68,7 +72,7 @@ int ThreadPool::hardware_threads() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       MutexLock lock{mutex_};
       while (!shutting_down_ && queue_.empty()) {
@@ -82,14 +86,18 @@ void ThreadPool::worker_loop() {
     }
     std::exception_ptr error;
     try {
-      job();
+      job.run();
     } catch (...) {
       error = std::current_exception();
     }
     {
       const MutexLock lock{mutex_};
-      if (error && !first_error_) {
+      // Keep the failure of the lowest submission index: a slow early job
+      // must displace a fast later one, or the exception wait() observes
+      // would depend on thread scheduling order.
+      if (error && (!first_error_ || job.index < first_error_index_)) {
         first_error_ = std::move(error);
+        first_error_index_ = job.index;
       }
       unfinished_--;
       if (unfinished_ == 0) {

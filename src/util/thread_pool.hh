@@ -20,11 +20,16 @@ namespace puffer {
 /// responsibility (jobs must write to disjoint, pre-indexed slots rather
 /// than to shared accumulators).
 ///
-/// Jobs may throw: the first exception escaping any job is captured and
-/// rethrown by the next wait() on the calling thread (later exceptions from
-/// the same batch are dropped, and the remaining jobs still run). Callers
-/// that need every error, or want to cancel outstanding work on the first
-/// failure, should catch inside the job instead (see ParallelTrialRunner).
+/// Jobs may throw: the exception of the *lowest-submission-index* failing
+/// job is captured and rethrown by the next wait() on the calling thread
+/// (other exceptions from the same batch are dropped, and the remaining
+/// jobs still run). "First" is by submission index, not by wall-clock
+/// failure order, so which exception a caller observes is a deterministic
+/// function of the submitted work — sharded dispatchers (the fleet engine
+/// submits one job per shard, in shard order) surface the same error no
+/// matter how the OS schedules the workers. Callers that need every error,
+/// or want to cancel outstanding work on the first failure, should catch
+/// inside the job instead (see ParallelTrialRunner).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (values < 1 are clamped to 1).
@@ -42,8 +47,9 @@ class ThreadPool {
   void submit(std::function<void()> job);
 
   /// Block until every job submitted so far has completed, then rethrow the
-  /// first exception any of them raised (if one did). The pool stays usable
-  /// after a rethrow.
+  /// exception of the lowest-submission-index job that raised one (if any
+  /// did). The pool stays usable after a rethrow; the next wait() batch
+  /// starts with a clean error slate.
   void wait();
 
   [[nodiscard]] int num_threads() const {
@@ -55,16 +61,27 @@ class ThreadPool {
   static int hardware_threads();
 
  private:
+  struct Job {
+    int64_t index = 0;  ///< submission sequence number (monotonic)
+    std::function<void()> run;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  Mutex mutex_ GUARDS(queue_, unfinished_, shutting_down_, first_error_);
+  Mutex mutex_ GUARDS(queue_, unfinished_, shutting_down_, next_job_index_,
+                      first_error_, first_error_index_);
   CondVar work_available_;  ///< signaled on submit() and at shutdown
   CondVar all_done_;        ///< signaled when unfinished_ reaches 0
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  std::deque<Job> queue_ GUARDED_BY(mutex_);
   int64_t unfinished_ GUARDED_BY(mutex_) = 0;  ///< queued + running jobs
   bool shutting_down_ GUARDED_BY(mutex_) = false;
-  std::exception_ptr first_error_ GUARDED_BY(mutex_);  ///< first job exception
+  int64_t next_job_index_ GUARDED_BY(mutex_) = 0;
+  /// Exception of the lowest-index failing job of the current batch, and
+  /// that job's index (so a later-finishing earlier job can displace the
+  /// exception a later job recorded first).
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
+  int64_t first_error_index_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace puffer

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "abr/bba.hh"
 #include "exp/fleet_trial.hh"
@@ -13,6 +14,7 @@
 #include "fugu/fugu.hh"
 #include "fugu/ttp_predictor.hh"
 #include "sim/arrivals.hh"
+#include "sim/fleet.hh"
 #include "stats/load_series.hh"
 #include "util/require.hh"
 
@@ -127,6 +129,97 @@ TEST(LoadSeries, EmptySeries) {
   load.finalize();
   EXPECT_EQ(load.peak(), 0);
   EXPECT_DOUBLE_EQ(load.time_weighted_mean(), 0.0);
+}
+
+/// Pinned boundary semantics: queries on an empty series (even one never
+/// finalized) are defined, and level_at before the first point is 0.
+TEST(LoadSeries, BoundaryQueriesArePinned) {
+  const stats::LoadSeries untouched;
+  EXPECT_EQ(untouched.peak(), 0);
+  EXPECT_DOUBLE_EQ(untouched.time_weighted_mean(), 0.0);
+  EXPECT_EQ(untouched.level_at(0.0), 0);
+  EXPECT_EQ(untouched.level_at(-100.0), 0);
+  EXPECT_TRUE(untouched.points().empty());
+
+  stats::LoadSeries load;
+  load.add(10.0, +1);
+  load.add(12.0, -1);
+  load.finalize();
+  EXPECT_EQ(load.level_at(9.999), 0);      // before the first point
+  EXPECT_EQ(load.level_at(-1e9), 0);
+  EXPECT_EQ(load.level_at(10.0), 1);       // at the first point
+}
+
+/// Pinned boundary semantics: a single-point (zero-span) series has a
+/// defined mean — the level it ends at — instead of a 0/0 division.
+TEST(LoadSeries, SinglePointMeanIsItsLevel) {
+  stats::LoadSeries load;
+  load.add(2.0, +1);
+  load.finalize();
+  ASSERT_EQ(load.points().size(), 1u);
+  EXPECT_EQ(load.peak(), 1);
+  EXPECT_DOUBLE_EQ(load.time_weighted_mean(), 1.0);
+
+  // Same-time deltas merge, so several events can still leave one point.
+  stats::LoadSeries merged;
+  merged.add(5.0, +1);
+  merged.add(5.0, +1);
+  merged.add(5.0, +1);
+  merged.finalize();
+  ASSERT_EQ(merged.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.time_weighted_mean(), 3.0);
+}
+
+/// merge_from reproduces the combined series exactly — the finalized series
+/// is a function of the delta multiset, however it was partitioned (this is
+/// what makes the sharded engine's merged load bit-identical).
+TEST(LoadSeries, MergeFromMatchesCombinedSeries) {
+  stats::LoadSeries combined, shard_a, shard_b;
+  const auto add_all = [](stats::LoadSeries& series,
+                          std::initializer_list<std::pair<double, int>> events) {
+    for (const auto& [t, d] : events) {
+      series.add(t, d);
+    }
+  };
+  add_all(combined, {{0.0, +1}, {4.0, -1}, {1.0, +1}, {3.0, -1}, {1.0, +1},
+                     {2.5, -1}});
+  add_all(shard_a, {{0.0, +1}, {4.0, -1}, {1.0, +1}, {2.5, -1}});
+  add_all(shard_b, {{1.0, +1}, {3.0, -1}});
+  combined.finalize();
+
+  // Merge one finalized shard and one pending shard — both forms must fold
+  // identically.
+  shard_a.finalize();
+  stats::LoadSeries merged;
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+  merged.finalize();
+
+  ASSERT_EQ(merged.points().size(), combined.points().size());
+  for (size_t i = 0; i < merged.points().size(); i++) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(merged.points()[i].time_s),
+              std::bit_cast<uint64_t>(combined.points()[i].time_s));
+    EXPECT_EQ(merged.points()[i].level, combined.points()[i].level);
+  }
+  EXPECT_EQ(merged.peak(), combined.peak());
+  EXPECT_EQ(std::bit_cast<uint64_t>(merged.time_weighted_mean()),
+            std::bit_cast<uint64_t>(combined.time_weighted_mean()));
+}
+
+TEST(LoadSeries, ReFinalizeAfterMoreDeltas) {
+  stats::LoadSeries load;
+  load.add(0.0, +1);
+  load.add(2.0, -1);
+  load.finalize();
+  EXPECT_EQ(load.peak(), 1);
+  // Add more events after finalizing; re-finalize folds them in.
+  load.add(1.0, +1);
+  load.add(3.0, -1);
+  load.finalize();
+  EXPECT_EQ(load.peak(), 2);
+  EXPECT_EQ(load.level_at(1.5), 2);
+  EXPECT_EQ(load.level_at(2.5), 1);
+  EXPECT_THROW(static_cast<void>(load.merge_from(load)), RequirementError);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,9 +494,12 @@ TEST(FleetTrial, MatchesSequentialBaselineInPairedMode) {
 }
 
 /// Acceptance criterion (b): bit-identical results at any thread count —
-/// including the load series the engine records.
+/// including the load series the engine records. Pinned to one shard so the
+/// batching counters are comparable too: with a single queue, batch
+/// membership is thread-count-invariant (threads stripe within batches).
 TEST(FleetTrial, BitIdenticalAcrossThreadCounts) {
   exp::FleetTrialConfig config = fleet_config();
+  config.num_shards = 1;
   const exp::FleetTrialResult one = exp::run_fleet_trial(config, fleet_factory());
   for (const int threads : {2, 4}) {
     config.trial.num_threads = threads;
@@ -419,6 +515,137 @@ TEST(FleetTrial, BitIdenticalAcrossThreadCounts) {
                        many.fleet.load.points()[i].time_s);
       EXPECT_EQ(one.fleet.load.points()[i].level,
                 many.fleet.load.points()[i].level);
+    }
+  }
+}
+
+/// Tentpole acceptance: sharding is invisible to results. 1/2/4/8 shards,
+/// coalescing on and off, all bit-identical to the sequential baseline —
+/// including the merged load series and the partition-invariant engine
+/// stats. (The batching counters are *not* compared across shard counts:
+/// batch membership is shard-local by design.)
+TEST(FleetTrial, BitIdenticalAcrossShardCounts) {
+  const exp::TrialResult sequential =
+      exp::run_trial(fleet_config().trial, fleet_factory());
+  for (const bool coalesce : {true, false}) {
+    exp::FleetTrialConfig config = fleet_config();
+    config.coalesce_inference = coalesce;
+    config.trial.num_threads = 4;
+    config.num_shards = 1;
+    const exp::FleetTrialResult one =
+        exp::run_fleet_trial(config, fleet_factory());
+    expect_identical(sequential, one.trial);
+    for (const int shards : {2, 4, 8}) {
+      config.num_shards = shards;
+      const exp::FleetTrialResult sharded =
+          exp::run_fleet_trial(config, fleet_factory());
+      EXPECT_EQ(sharded.fleet.num_shards, shards);
+      expect_identical(sequential, sharded.trial);
+      EXPECT_EQ(one.fleet.sessions, sharded.fleet.sessions);
+      EXPECT_EQ(one.fleet.decisions, sharded.fleet.decisions);
+      expect_same_bits(one.fleet.virtual_duration_s,
+                       sharded.fleet.virtual_duration_s);
+      EXPECT_EQ(one.fleet.load.peak(), sharded.fleet.load.peak());
+      expect_same_bits(one.fleet.load.time_weighted_mean(),
+                       sharded.fleet.load.time_weighted_mean());
+      ASSERT_EQ(one.fleet.load.points().size(),
+                sharded.fleet.load.points().size());
+      for (size_t i = 0; i < one.fleet.load.points().size(); i++) {
+        expect_same_bits(one.fleet.load.points()[i].time_s,
+                         sharded.fleet.load.points()[i].time_s);
+        EXPECT_EQ(one.fleet.load.points()[i].level,
+                  sharded.fleet.load.points()[i].level);
+      }
+    }
+  }
+}
+
+/// Paired mode under sharding: shard_group colocates a plan's per-scheme
+/// task copies on one shard (they share an immutable plan), and the merged
+/// trial stays bit-identical to the sequential baseline.
+TEST(FleetTrial, PairedModeBitIdenticalAcrossShardCounts) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.paired_paths = true;
+  config.trial.sessions_per_scheme = 4;
+  config.trial.num_threads = 4;
+  const exp::TrialResult sequential =
+      exp::run_trial(config.trial, fleet_factory());
+  for (const int shards : {1, 2, 4, 8}) {
+    config.num_shards = shards;
+    const exp::FleetTrialResult fleet =
+        exp::run_fleet_trial(config, fleet_factory());
+    expect_identical(sequential, fleet.trial);
+  }
+}
+
+/// Kill mid-merge: a scheme factory that fails partway through a sharded
+/// run (while other shards are mid-flight and the streaming merge frontier
+/// is active) must propagate the failure out of run_fleet_trial — no
+/// deadlock, no partially-merged result returned.
+TEST(FleetTrial, FactoryFailureMidRunPropagates) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.num_threads = 2;
+  config.num_shards = 2;
+  const exp::SchemeFactory broken =
+      [](const std::string& name) -> std::unique_ptr<abr::AbrAlgorithm> {
+    if (name == "BBA") {
+      return nullptr;  // run_fleet_trial's require() fires on a shard worker
+    }
+    return fleet_factory()(name);
+  };
+  EXPECT_THROW(static_cast<void>(exp::run_fleet_trial(config, broken)),
+               RequirementError);
+}
+
+/// Exception-propagation determinism: the engine submits shard jobs in
+/// ascending shard order, and ThreadPool selects the rethrown exception by
+/// submission index — so even when a *higher* shard fails first on the
+/// wall clock, the lowest failing shard's error is the one observed, every
+/// time.
+class ExplodingTask final : public sim::FleetTask {
+ public:
+  ExplodingTask(std::string message, const int decisions_before_failure)
+      : message_(std::move(message)), remaining_(decisions_before_failure) {}
+
+  Step prepare() override {
+    if (remaining_ <= 0) {
+      throw std::runtime_error(message_);
+    }
+    return Step::kDecision;
+  }
+  bool stage(fugu::TtpInferenceBatch& /*batch*/) override { return false; }
+  void finish_chunk() override {
+    remaining_--;
+    elapsed_ += 1.0;
+  }
+  [[nodiscard]] double elapsed_s() const override { return elapsed_; }
+
+ private:
+  std::string message_;
+  int remaining_;
+  double elapsed_ = 0.0;
+};
+
+TEST(FleetEngine, ShardFailureSelectsLowestShardDeterministically) {
+  sim::FleetConfig config;
+  config.num_threads = 2;
+  config.num_shards = 2;
+  const std::vector<double> arrivals = {0.0, 0.0, 0.0, 0.0};
+  const auto factory = [](const int64_t /*session*/,
+                          const int shard) -> std::unique_ptr<sim::FleetTask> {
+    // Shard 0 fails only after 200 decisions (late on the wall clock);
+    // shard 1 fails at its very first arrival.
+    if (shard == 0) {
+      return std::make_unique<ExplodingTask>("shard-0 failed", 200);
+    }
+    return std::make_unique<ExplodingTask>("shard-1 failed", 0);
+  };
+  for (int iteration = 0; iteration < 10; iteration++) {
+    try {
+      static_cast<void>(sim::FleetEngine{config}.run(arrivals, factory));
+      FAIL() << "run() must rethrow the failing shard's exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "shard-0 failed");
     }
   }
 }

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "util/object_pool.hh"
 #include "util/require.hh"
 #include "util/rng.hh"
 #include "util/running_stats.hh"
@@ -312,6 +314,27 @@ TEST(ThreadPool, FirstExceptionWins) {
   }
 }
 
+TEST(ThreadPool, ExceptionSelectionIsBySubmissionIndexNotFinishOrder) {
+  // The earlier-submitted job fails *last* on the wall clock (it sleeps
+  // while the later job throws immediately on the other worker), yet its
+  // exception must be the one wait() rethrows — selection is by submission
+  // index, so the observed error cannot depend on thread scheduling.
+  for (int iteration = 0; iteration < 20; iteration++) {
+    ThreadPool pool{2};
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      throw std::runtime_error("submitted-first");
+    });
+    pool.submit([] { throw std::runtime_error("submitted-second"); });
+    try {
+      pool.wait();
+      FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "submitted-first");
+    }
+  }
+}
+
 TEST(ThreadPool, DestructionDrainsQueuedWork) {
   // Destroying the pool while jobs are still queued must run them all
   // before joining — no deadlock, no dropped work.
@@ -355,6 +378,61 @@ TEST(JsonWriter, EmitsEscapedKeysAndValues) {
             "  \"quote\\\"key\": \"line1\\nline2\",\n"
             "  \"count\": 3\n"
             "}\n");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  // snprintf would emit bare `nan` / `inf` tokens, which no JSON parser
+  // accepts; degenerate bench runs must still produce valid JSON.
+  bench::JsonWriter json;
+  json.field("nan", std::numeric_limits<double>::quiet_NaN(), 2);
+  json.field("inf", std::numeric_limits<double>::infinity(), 2);
+  json.field("neg_inf", -std::numeric_limits<double>::infinity(), 2);
+  json.field("finite", 1.5, 2);
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"nan\": null,\n"
+            "  \"inf\": null,\n"
+            "  \"neg_inf\": null,\n"
+            "  \"finite\": 1.50\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EmitsArrayFields) {
+  bench::JsonWriter json;
+  json.field("ints", std::vector<int64_t>{1, 20, 300});
+  json.field("doubles",
+             std::vector<double>{0.5, std::numeric_limits<double>::quiet_NaN()},
+             1);
+  json.field("empty", std::vector<int64_t>{});
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"ints\": [1, 20, 300],\n"
+            "  \"doubles\": [0.5, null],\n"
+            "  \"empty\": []\n"
+            "}\n");
+}
+
+TEST(BlockArena, RecyclesBlocksOfOneSize) {
+  BlockArena arena;
+  void* first = arena.allocate(64);
+  EXPECT_EQ(arena.blocks_created(), 1);
+  arena.deallocate(first, 64);
+  EXPECT_EQ(arena.blocks_free(), 1);
+  void* second = arena.allocate(64);
+  EXPECT_EQ(second, first);  // free-listed block handed back verbatim
+  EXPECT_EQ(arena.blocks_created(), 1);
+  void* third = arena.allocate(64);
+  EXPECT_NE(third, nullptr);
+  EXPECT_EQ(arena.blocks_created(), 2);
+  arena.deallocate(second, 64);
+  arena.deallocate(third, 64);
+}
+
+TEST(BlockArena, RejectsMismatchedSize) {
+  BlockArena arena;
+  void* block = arena.allocate(32);
+  EXPECT_THROW(static_cast<void>(arena.allocate(64)), RequirementError);
+  arena.deallocate(block, 32);
 }
 
 }  // namespace
