@@ -1,7 +1,8 @@
 // fleet_scale: throughput of the fleet engine and of batched TTP inference.
 //
 //   ./fleet_scale [--smoke] [--sessions N] [--arrivals poisson|diurnal|flash-crowd]
-//                 [--rate R] [--threads T] [--shards S] [--json PATH]
+//                 [--rate R] [--threads T] [--shards S] [--contention]
+//                 [--json PATH]
 //
 // Part 1 microbenchmarks one ABR decision's worth of TTP inference three
 // ways — scalar forward_one per (step, rung), per-decision fused GEMMs, and
@@ -15,9 +16,14 @@
 // run bit for bit. Results land in BENCH_fleet.json (override with --json)
 // so the perf trajectory accumulates data.
 //
+// --contention adds Part 4: a shared-bottleneck curve over group sizes
+// (per-group Jain fairness and the induced-stall ratio vs group size),
+// each point audited bitwise sharded-vs-single-queue.
+//
 // --smoke shrinks everything to seconds and exits non-zero on any mismatch,
 // which is what CI runs (with --shards 2 to keep the sharded path covered).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -278,10 +284,98 @@ CurvePoint run_curve_point(const int64_t sessions, const int threads,
   return point;
 }
 
+struct ContentionPoint {
+  int group_size = 1;
+  double mean_fairness = 1.0;   ///< mean per-group Jain index
+  double min_fairness = 1.0;    ///< worst group
+  double stall_ratio = 0.0;     ///< total stall time / total watch time
+  double wall_s = 0.0;
+  bool shard_identical = false;  ///< sharded == single-queue, bitwise
+};
+
+/// One contention-curve point: the same fleet population behind shared
+/// edge bottlenecks of `group_size` flows, run single-queue (timed) and
+/// with two shards (audit: figures + fairness must match bit for bit).
+ContentionPoint run_contention_point(const int group_size, const int sessions,
+                                     const int threads) {
+  exp::FleetTrialConfig config;
+  config.trial.schemes = {"Fugu", "MPC-HM", "BBA"};
+  config.trial.sessions_per_scheme = sessions / 3;
+  config.trial.seed = 20190119;
+  config.trial.num_threads = threads;
+  config.trial.stream.max_stream_chunks = 60;
+  config.trial.scenario = puffer::net::ScenarioSpec{"edge-contention"};
+  config.arrivals.kind = "poisson";
+  config.arrivals.rate_per_s = 0.05;
+  config.contention = exp::make_contention_spec("edge", group_size);
+
+  config.num_shards = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const exp::FleetTrialResult base =
+      exp::run_fleet_trial(config, fleet_factory());
+  const double wall_s = seconds_since(start);
+
+  config.num_shards = 2;
+  const exp::FleetTrialResult sharded =
+      exp::run_fleet_trial(config, fleet_factory());
+
+  ContentionPoint point;
+  point.group_size = group_size;
+  point.wall_s = wall_s;
+
+  double stall_s = 0.0, watch_s = 0.0;
+  for (const auto& scheme : base.trial.schemes) {
+    for (const auto& figures : scheme.considered) {
+      stall_s += figures.stall_time_s;
+      watch_s += figures.watch_time_s;
+    }
+  }
+  point.stall_ratio = watch_s > 0.0 ? stall_s / watch_s : 0.0;
+
+  double fairness_sum = 0.0;
+  for (const double fairness : base.group_fairness) {
+    fairness_sum += fairness;
+    point.min_fairness = std::min(point.min_fairness, fairness);
+  }
+  point.mean_fairness =
+      base.group_fairness.empty()
+          ? 1.0
+          : fairness_sum / static_cast<double>(base.group_fairness.size());
+
+  point.shard_identical =
+      base.fleet.sessions == sharded.fleet.sessions &&
+      base.fleet.decisions == sharded.fleet.decisions &&
+      base.group_fairness.size() == sharded.group_fairness.size();
+  if (point.shard_identical) {
+    for (size_t g = 0; g < base.group_fairness.size(); g++) {
+      if (std::memcmp(&base.group_fairness[g], &sharded.group_fairness[g],
+                      sizeof(double)) != 0) {
+        point.shard_identical = false;
+      }
+    }
+    for (size_t s = 0; s < base.trial.schemes.size(); s++) {
+      const auto& a = base.trial.schemes[s];
+      const auto& b = sharded.trial.schemes[s];
+      if (a.considered.size() != b.considered.size()) {
+        point.shard_identical = false;
+        continue;
+      }
+      for (size_t i = 0; i < a.considered.size(); i++) {
+        if (std::memcmp(&a.considered[i], &b.considered[i],
+                        sizeof(a.considered[i])) != 0) {
+          point.shard_identical = false;
+        }
+      }
+    }
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool contention = false;
   int sessions = 200;
   int threads = 0;
   int shards = 0;
@@ -296,6 +390,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--contention") {
+      contention = true;
     } else if (arg == "--sessions") {
       sessions = std::atoi(next().c_str());
     } else if (arg == "--threads") {
@@ -311,7 +407,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scale [--smoke] [--sessions N] [--threads T] "
-                   "[--shards S] [--rate R] [--arrivals KIND] [--json PATH]\n");
+                   "[--shards S] [--rate R] [--arrivals KIND] [--contention] "
+                   "[--json PATH]\n");
       return 2;
     }
   }
@@ -422,6 +519,35 @@ int main(int argc, char** argv) {
                 point.shard_identical ? "yes" : "NO — MISMATCH");
   }
 
+  // Part 4 (--contention): shared-bottleneck curve over group sizes. Group
+  // size 1 is the uncontended baseline for the induced-stall ratio.
+  std::vector<ContentionPoint> contention_curve;
+  bool contention_identical = true;
+  if (contention) {
+    std::vector<int> group_sizes = {1, 2, 4, 8};
+    if (smoke) {
+      group_sizes = {1, 2, 4};
+    }
+    const int contention_sessions = smoke ? 24 : std::max(sessions, 48);
+    std::printf("\n== contention curve (edge topology, %d sessions, "
+                "2-shard audit) ==\n",
+                contention_sessions);
+    for (const int g : group_sizes) {
+      contention_curve.push_back(
+          run_contention_point(g, contention_sessions, threads));
+      const ContentionPoint& point = contention_curve.back();
+      contention_identical = contention_identical && point.shard_identical;
+      const double baseline = contention_curve.front().stall_ratio;
+      const double induced =
+          baseline > 0.0 ? point.stall_ratio / baseline : 0.0;
+      std::printf("  group %2d: fairness mean %6.4f min %6.4f, stall %7.5f "
+                  "(induced %5.2fx), %6.2f s wall, shard-identical %s\n",
+                  point.group_size, point.mean_fairness, point.min_fairness,
+                  point.stall_ratio, induced, point.wall_s,
+                  point.shard_identical ? "yes" : "NO — MISMATCH");
+    }
+  }
+
   puffer::bench::JsonWriter json;
   json.field("bench", "fleet_scale");
   json.field("smoke", smoke);
@@ -456,9 +582,30 @@ int main(int argc, char** argv) {
   json.field("curve_mean_concurrency", curve_means, 1);
   json.field("curve_wall_s", curve_walls, 3);
   json.field("curve_shard_identical", curve_identical);
+  if (contention) {
+    std::vector<int64_t> contention_groups;
+    std::vector<double> contention_fairness, contention_min_fairness,
+        contention_stall, contention_induced;
+    const double baseline_stall = contention_curve.front().stall_ratio;
+    for (const ContentionPoint& point : contention_curve) {
+      contention_groups.push_back(point.group_size);
+      contention_fairness.push_back(point.mean_fairness);
+      contention_min_fairness.push_back(point.min_fairness);
+      contention_stall.push_back(point.stall_ratio);
+      contention_induced.push_back(
+          baseline_stall > 0.0 ? point.stall_ratio / baseline_stall : 0.0);
+    }
+    json.field("contention_group_sizes", contention_groups);
+    json.field("contention_mean_fairness", contention_fairness, 4);
+    json.field("contention_min_fairness", contention_min_fairness, 4);
+    json.field("contention_stall_ratio", contention_stall, 5);
+    json.field("contention_induced_stall", contention_induced, 3);
+    json.field("contention_shard_identical", contention_identical);
+  }
   json.write_file(json_path);
 
-  if (!inference.identical || !figures_identical || !curve_identical) {
+  if (!inference.identical || !figures_identical || !curve_identical ||
+      !contention_identical) {
     std::fprintf(stderr, "fleet_scale: BITWISE AUDIT FAILED\n");
     return 1;
   }

@@ -1,5 +1,6 @@
 #include "exp/fleet_trial.hh"
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -71,6 +72,55 @@ class PooledSessionTask final : public sim::FleetTask {
   SessionTask task_;
 };
 
+/// A ContentionGroupTask plus the same algorithm-instance pooling, for every
+/// member, and the capture of the group's fairness index into its
+/// pre-indexed result slot. The engine destroys the task on the shard's own
+/// worker, so the slot write and pool pushes are shard-confined; the engine
+/// join publishes them to the caller.
+class PooledContentionTask final : public sim::FleetTask {
+ public:
+  PooledContentionTask(
+      std::vector<ContentionGroupTask::Member> members,
+      const ContentionSpec& spec, net::NetworkPath shared_sample,
+      const TrialConfig& config,
+      std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>>& pools,
+      std::vector<size_t> member_schemes, double* const fairness_slot)
+      : pools_(pools),
+        member_schemes_(std::move(member_schemes)),
+        fairness_slot_(fairness_slot),
+        task_(std::move(members), spec, std::move(shared_sample), config) {}
+
+  ~PooledContentionTask() override {
+    *fairness_slot_ = task_.fairness_index();
+    for (size_t i = 0; i < member_schemes_.size(); i++) {
+      auto algo = task_.take_algorithm(i);
+      if (algo != nullptr) {
+        pools_[member_schemes_[i]].push_back(std::move(algo));
+      }
+    }
+  }
+
+  Step prepare() override { return task_.prepare(); }
+  bool stage(fugu::TtpInferenceBatch& batch) override {
+    return task_.stage(batch);
+  }
+  void finish_chunk() override { task_.finish_chunk(); }
+  [[nodiscard]] double elapsed_s() const override { return task_.elapsed_s(); }
+  [[nodiscard]] int64_t session_count() const override {
+    return task_.session_count();
+  }
+  void record_load(stats::LoadSeries& load, const double arrival_s,
+                   const double end_s) const override {
+    task_.record_load(load, arrival_s, end_s);
+  }
+
+ private:
+  std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>>& pools_;
+  std::vector<size_t> member_schemes_;
+  double* fairness_slot_;
+  ContentionGroupTask task_;
+};
+
 /// Mutable state a shard's worker owns exclusively: its schemes' algorithm
 /// free lists and the paired-mode plan cache. shard_group colocates a
 /// plan's per-scheme task copies on one shard, so the cache keeps its
@@ -115,6 +165,23 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
   const int64_t num_tasks =
       trial_config.paired_paths ? num_plans * num_schemes : num_plans;
 
+  // Shared-bottleneck grouping: each run of group_size consecutive plans
+  // becomes ONE engine task (a ContentionGroupTask co-simulating its
+  // members), so tasks stay mutually independent and the bitwise
+  // shard/thread-invariance contract is untouched.
+  const ContentionSpec& contention = config.contention;
+  require(contention.group_size >= 1,
+          "run_fleet_trial: contention.group_size must be >= 1");
+  const auto group_size = static_cast<int64_t>(contention.group_size);
+  const bool grouped = group_size > 1;
+  if (grouped) {
+    require(!trial_config.paired_paths,
+            "run_fleet_trial: contention groups require an unpaired (RCT) "
+            "trial");
+  }
+  const int64_t num_groups =
+      grouped ? (num_plans + group_size - 1) / group_size : 0;
+
   const std::unique_ptr<net::PathGenerator> paths =
       net::make_path_generator(trial_config.scenario);
   const sim::UserModel users{trial_config.seed};
@@ -128,11 +195,21 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
   const std::vector<double> plan_arrivals =
       sim::sample_arrivals(*arrival_process, arrival_rng, num_plans);
   std::vector<double> task_arrivals;
-  task_arrivals.reserve(static_cast<size_t>(num_tasks));
-  for (int64_t plan = 0; plan < num_plans; plan++) {
-    const int64_t copies = trial_config.paired_paths ? num_schemes : 1;
-    for (int64_t c = 0; c < copies; c++) {
-      task_arrivals.push_back(plan_arrivals[static_cast<size_t>(plan)]);
+  if (grouped) {
+    // One engine arrival per group, at its first member's arrival; members
+    // joining later enter the group world at their arrival offsets.
+    task_arrivals.reserve(static_cast<size_t>(num_groups));
+    for (int64_t g = 0; g < num_groups; g++) {
+      task_arrivals.push_back(
+          plan_arrivals[static_cast<size_t>(g * group_size)]);
+    }
+  } else {
+    task_arrivals.reserve(static_cast<size_t>(num_tasks));
+    for (int64_t plan = 0; plan < num_plans; plan++) {
+      const int64_t copies = trial_config.paired_paths ? num_schemes : 1;
+      for (int64_t c = 0; c < copies; c++) {
+        task_arrivals.push_back(plan_arrivals[static_cast<size_t>(plan)]);
+      }
     }
   }
 
@@ -161,6 +238,14 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
   std::vector<ShardState> shards(static_cast<size_t>(num_shards));
   for (ShardState& shard : shards) {
     shard.pools.resize(trial_config.schemes.size());
+  }
+
+  FleetTrialResult result;
+  result.trial.schemes = detail::empty_scheme_results(trial_config);
+  if (grouped) {
+    // Pre-indexed per-group slots; each group's destructor (on its owning
+    // shard worker) writes exactly one.
+    result.group_fairness.assign(static_cast<size_t>(num_groups), 1.0);
   }
 
   const auto task_factory =
@@ -207,8 +292,63 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
         std::move(plan), std::move(algo), trial_config, *partial, pool);
   };
 
-  FleetTrialResult result;
-  result.trial.schemes = detail::empty_scheme_results(trial_config);
+  // Contention factory: builds group `group_index` from its member plans.
+  // Every member's plan and RCT scheme draw come from the same RNG splits,
+  // at the same positions, as the private-path factory above — grouping
+  // changes the world the sessions run in, never which sessions exist.
+  const auto contention_factory =
+      [&](const int64_t group_index,
+          const int shard_index) -> std::unique_ptr<sim::FleetTask> {
+    ShardState& shard = shards[static_cast<size_t>(shard_index)];
+    const int64_t begin = group_index * group_size;
+    const int64_t end = std::min(num_plans, begin + group_size);
+    std::vector<ContentionGroupTask::Member> members;
+    std::vector<size_t> member_schemes;
+    members.reserve(static_cast<size_t>(end - begin));
+    member_schemes.reserve(static_cast<size_t>(end - begin));
+    double max_trace_s = 0.0;
+    for (int64_t p = begin; p < end; p++) {
+      Rng session_rng = master.split(static_cast<uint64_t>(p));
+      auto plan = std::make_shared<const SessionPlan>(
+          make_session_plan(session_rng, users, *paths));
+      const auto scheme =
+          static_cast<size_t>(session_rng.uniform_int(0, num_schemes - 1));
+      scheme_of[static_cast<size_t>(p)] = scheme;
+      member_schemes.push_back(scheme);
+      std::unique_ptr<abr::AbrAlgorithm> algo;
+      auto& pool = shard.pools[scheme];
+      if (!pool.empty()) {
+        algo = std::move(pool.back());
+        pool.pop_back();
+      } else {
+        algo = factory(trial_config.schemes[scheme]);
+        require(algo != nullptr,
+                "run_fleet_trial: factory returned null for '" +
+                    trial_config.schemes[scheme] + "'");
+      }
+      auto& partial = partials[static_cast<size_t>(p)];
+      partial = std::make_unique<SchemeResult>();
+      max_trace_s = std::max(max_trace_s, plan->path->trace.duration());
+      ContentionGroupTask::Member member;
+      member.plan = std::move(plan);
+      member.algo = std::move(algo);
+      member.result = partial.get();
+      member.arrival_offset_s = plan_arrivals[static_cast<size_t>(p)] -
+                                plan_arrivals[static_cast<size_t>(begin)];
+      member.use_cubic =
+          contention.cc == "cubic" || (contention.cc == "mixed" && p % 2 == 1);
+      members.push_back(std::move(member));
+    }
+    // One extra access-path sample from the scenario becomes the shared
+    // bottleneck; a dedicated split keeps it from perturbing member plans.
+    Rng link_rng = master.split("contention-link")
+                       .split(static_cast<uint64_t>(group_index));
+    net::NetworkPath shared_sample = paths->sample_path(link_rng, max_trace_s);
+    return std::make_unique<PooledContentionTask>(
+        std::move(members), contention, std::move(shared_sample), trial_config,
+        shard.pools, std::move(member_schemes),
+        &result.group_fairness[static_cast<size_t>(group_index)]);
+  };
 
   MergeFrontier frontier;
   {
@@ -217,7 +357,16 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
   }
   const auto on_complete = [&](const int64_t task_index, const int /*shard*/) {
     const MutexLock lock{frontier.mutex};
-    frontier.completed[static_cast<size_t>(task_index)] = 1;
+    if (grouped) {
+      // One engine task covers a contiguous plan range.
+      const int64_t begin = task_index * group_size;
+      const int64_t end = std::min(num_tasks, begin + group_size);
+      for (int64_t p = begin; p < end; p++) {
+        frontier.completed[static_cast<size_t>(p)] = 1;
+      }
+    } else {
+      frontier.completed[static_cast<size_t>(task_index)] = 1;
+    }
     while (frontier.next_to_merge < num_tasks &&
            frontier.completed[static_cast<size_t>(frontier.next_to_merge)] !=
                0) {
@@ -229,7 +378,11 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     }
   };
 
-  result.fleet = engine.run(task_arrivals, task_factory, on_complete);
+  result.fleet = engine.run(
+      task_arrivals,
+      grouped ? sim::FleetEngine::TaskFactory{contention_factory}
+              : sim::FleetEngine::TaskFactory{task_factory},
+      on_complete);
   {
     const MutexLock lock{frontier.mutex};
     require(frontier.next_to_merge == num_tasks,

@@ -1,6 +1,9 @@
 #ifndef PUFFER_EXP_FLEET_TRIAL_HH
 #define PUFFER_EXP_FLEET_TRIAL_HH
 
+#include <vector>
+
+#include "exp/contention.hh"
 #include "exp/trial.hh"
 #include "sim/arrivals.hh"
 #include "sim/fleet.hh"
@@ -34,11 +37,20 @@ struct FleetTrialConfig {
   bool coalesce_inference = true;
   int max_coalesced_sessions = 64;
   double coalesce_window_s = 0.25;
+  /// Shared-bottleneck grouping. group_size == 1 (default) keeps the
+  /// historical private-path fleet. group_size > 1 co-simulates each run of
+  /// `group_size` consecutive sessions behind one shared link as a single
+  /// fleet task, so the bitwise shard/thread-invariance contract holds
+  /// unchanged; requires an unpaired (RCT) trial.
+  ContentionSpec contention;
 };
 
 struct FleetTrialResult {
   TrialResult trial;        ///< same shape as run_trial — directly comparable
   sim::FleetRunStats fleet;  ///< load series + batching counters
+  /// With contention.group_size > 1: Jain fairness of delivered bytes per
+  /// contention group, indexed by group. Empty otherwise.
+  std::vector<double> group_fairness;
 };
 
 FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,

@@ -109,39 +109,48 @@ double SessionTask::elapsed_s() const {
 
 void SessionTask::finish_stream() {
   const sim::StreamOutcome outcome = stream_->take_outcome();
-
-  result_.consort.streams++;
-  session_duration_s_ += outcome.wall_time_s;
-
-  if (outcome.decoder_failure) {
-    result_.consort.decoder_failure++;
-  } else if (!outcome.began_playing) {
-    result_.consort.never_began++;
-  } else if (outcome.figures.watch_time_s < config_.min_watch_time_s) {
-    result_.consort.under_min_watch++;
-  } else {
-    result_.consort.considered++;
-    if (run_rng_.bernoulli(0.011)) {
-      result_.consort.truncated++;  // loss of contact; still considered
-    }
-    result_.considered.push_back(outcome.figures);
-    any_considered_ = true;
-  }
-
-  if (config_.collect_logs && outcome.transfer_log.size() >= 2) {
-    fugu::StreamLog log;
-    log.day = config_.day;
-    log.chunks.reserve(outcome.transfer_log.size());
-    for (const auto& entry : outcome.transfer_log) {
-      log.chunks.push_back({entry.size_mb, entry.tx_time_s, entry.tcp_at_send});
-    }
-    result_.logs.push_back(std::move(log));
-  }
-
+  detail::fold_stream_outcome(outcome, run_rng_, config_, result_,
+                              session_duration_s_, any_considered_);
   stream_.reset();
   video_.reset();
   stream_index_++;
 }
+
+namespace detail {
+
+void fold_stream_outcome(const sim::StreamOutcome& outcome, Rng& run_rng,
+                         const TrialConfig& config, SchemeResult& result,
+                         double& session_duration_s, bool& any_considered) {
+  result.consort.streams++;
+  session_duration_s += outcome.wall_time_s;
+
+  if (outcome.decoder_failure) {
+    result.consort.decoder_failure++;
+  } else if (!outcome.began_playing) {
+    result.consort.never_began++;
+  } else if (outcome.figures.watch_time_s < config.min_watch_time_s) {
+    result.consort.under_min_watch++;
+  } else {
+    result.consort.considered++;
+    if (run_rng.bernoulli(0.011)) {
+      result.consort.truncated++;  // loss of contact; still considered
+    }
+    result.considered.push_back(outcome.figures);
+    any_considered = true;
+  }
+
+  if (config.collect_logs && outcome.transfer_log.size() >= 2) {
+    fugu::StreamLog log;
+    log.day = config.day;
+    log.chunks.reserve(outcome.transfer_log.size());
+    for (const auto& entry : outcome.transfer_log) {
+      log.chunks.push_back({entry.size_mb, entry.tx_time_s, entry.tcp_at_send});
+    }
+    result.logs.push_back(std::move(log));
+  }
+}
+
+}  // namespace detail
 
 void run_session(const SessionPlan& plan, abr::AbrAlgorithm& algo,
                  const TrialConfig& config, SchemeResult& result) {

@@ -29,6 +29,18 @@ struct SessionPlan {
 SessionPlan make_session_plan(Rng& rng, const sim::UserModel& users,
                               const net::PathGenerator& paths);
 
+namespace detail {
+
+/// CONSORT bucketing + telemetry folding for one finished stream — shared by
+/// SessionTask (private paths) and ContentionGroupTask members so the two
+/// drivers cannot drift. Draws the 1.1% loss-of-contact bernoulli from
+/// `run_rng` at exactly the position the serial loop draws it.
+void fold_stream_outcome(const sim::StreamOutcome& outcome, Rng& run_rng,
+                         const TrialConfig& config, SchemeResult& result,
+                         double& session_duration_s, bool& any_considered);
+
+}  // namespace detail
+
 /// One trial session as a resumable task: the session loop the serial trial
 /// path used to run in one call (streams, CONSORT accounting, telemetry
 /// logs), cut at its ABR decision points so the fleet engine can interleave

@@ -8,6 +8,7 @@ namespace puffer::net {
 namespace {
 
 constexpr double kBwWindowS = 10.0;
+constexpr double kMinRttWindowS = 10.0;
 constexpr double kStartupGain = 2.885;  // 2/ln(2)
 constexpr std::array<double, 8> kProbeBwGains = {1.25, 0.75, 1.0, 1.0,
                                                  1.0,  1.0,  1.0, 1.0};
@@ -77,13 +78,36 @@ void BbrModel::advance_state_machine(const CcSample& sample) {
   }
 }
 
-void BbrModel::on_sample(const CcSample& sample) {
+void BbrModel::update_min_rtt(const CcSample& sample) {
+  // Candidate for this step: the measured RTT if acks arrived, tightened by
+  // the connection's lifetime floor (always available once connected).
+  double candidate = 0.0;
   if (sample.rtt_sample_s > 0.0) {
-    min_rtt_s_ = std::min(min_rtt_s_, sample.rtt_sample_s);
+    candidate = sample.rtt_sample_s;
   }
   if (sample.min_rtt_s > 0.0) {
-    min_rtt_s_ = std::min(min_rtt_s_, sample.min_rtt_s);
+    candidate =
+        candidate > 0.0 ? std::min(candidate, sample.min_rtt_s) : sample.min_rtt_s;
   }
+  if (candidate > 0.0) {
+    while (!rtt_samples_.empty() && rtt_samples_.back().second >= candidate) {
+      rtt_samples_.pop_back();
+    }
+    rtt_samples_.emplace_back(sample.now_s, candidate);
+  }
+  while (!rtt_samples_.empty() &&
+         rtt_samples_.front().first < sample.now_s - kMinRttWindowS) {
+    rtt_samples_.pop_front();
+  }
+  if (!rtt_samples_.empty()) {
+    min_rtt_s_ = rtt_samples_.front().second;
+  }
+  // An empty filter (no sample yet, or all expired while no acks flowed)
+  // keeps the previous estimate — never a hard-coded ceiling.
+}
+
+void BbrModel::on_sample(const CcSample& sample) {
+  update_min_rtt(sample);
   update_btl_bw(sample);
   advance_state_machine(sample);
 }

@@ -26,9 +26,11 @@ class BbrModel final : public CongestionControl {
   enum class Mode { kStartup, kDrain, kProbeBw };
   [[nodiscard]] Mode mode() const { return mode_; }
   [[nodiscard]] double btl_bw_bps() const { return btl_bw_bps_; }
+  [[nodiscard]] double min_rtt_s() const { return min_rtt_s_; }
 
  private:
   void update_btl_bw(const CcSample& sample);
+  void update_min_rtt(const CcSample& sample);
   void advance_state_machine(const CcSample& sample);
 
   double mss_bytes_;
@@ -39,7 +41,13 @@ class BbrModel final : public CongestionControl {
   std::deque<std::pair<double, double>> bw_samples_;
   double btl_bw_bps_ = 0.0;
 
-  double min_rtt_s_ = 0.100;  // refined by samples
+  // Windowed min filter for RTT (BBR's 10 s min-RTT window), kept as a
+  // monotonic deque of (timestamp, rtt) with strictly increasing rtt from
+  // the front. Seeded by the first sample — a fixed initial value would act
+  // as a permanent ceiling on paths whose propagation RTT exceeds it (the
+  // ~600 ms GEO satellite family lost ~6x of its BDP estimate that way).
+  std::deque<std::pair<double, double>> rtt_samples_;
+  double min_rtt_s_ = 0.100;  // pre-first-sample fallback only
 
   // Full-pipe detection (STARTUP exit).
   double full_pipe_baseline_bps_ = 0.0;

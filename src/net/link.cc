@@ -33,8 +33,15 @@ LinkStepResult LinkSimulator::step(const double now_s, const double dt,
   result.delivered_bytes = std::min(queue_bytes_, drainable);
   queue_bytes_ -= result.delivered_bytes;
 
-  const double capacity_after = std::max(trace_->capacity_at(now_s + dt), 1.0);
-  result.queue_delay_s = queue_bytes_ / capacity_after;
+  // The delay the queue implies uses the same capacity sample as the drain.
+  // Zero capacity means the queue is blocked: no finite delay exists, so the
+  // report pins at the outage horizon instead of dividing by a floor.
+  if (capacity > 0.0) {
+    result.queue_delay_s = std::min(queue_bytes_ / capacity, kQueueDelayCapS);
+  } else {
+    result.blocked = queue_bytes_ > 0.0;
+    result.queue_delay_s = result.blocked ? kQueueDelayCapS : 0.0;
+  }
   return result;
 }
 

@@ -70,6 +70,46 @@ ScenarioRegistry build_default_registry() {
       "GEO satellite access: ~600 ms propagation RTT, moderate capacity, "
       "long rain fades",
       synthetic_family<SatellitePathModel>());
+  // Contention families: access paths tuned for shared-bottleneck fleet
+  // trials (FleetTrialConfig.contention / exp::make_contention_spec). The
+  // family supplies both the member access paths and the extra sample that
+  // becomes the group's shared link.
+  registry.register_family(
+      "edge-contention",
+      "wired access behind a shared CDN-edge uplink: faster, steadier "
+      "puffer-style paths with rare outages; pair with contention topology "
+      "'edge' (FIFO bottleneck at 0.7x the aggregate)",
+      [](const ScenarioSpec&) -> std::unique_ptr<PathGenerator> {
+        PufferPathConfig config;
+        config.median_rate_mbps = 28.0;
+        config.log10_rate_sigma = 0.40;
+        config.outage_rate_hz = 1.0 / 1800.0;
+        return std::make_unique<ModelGenerator<PufferPathModel>>(
+            PufferPathModel{config});
+      });
+  registry.register_family(
+      "cell-shared",
+      "LTE sector whose users share tower backhaul: cellular state chain "
+      "with a faster top state; pair with contention topology 'tower' "
+      "(deep FIFO at 0.55x the aggregate, mixed BBR/CUBIC)",
+      [](const ScenarioSpec&) -> std::unique_ptr<PathGenerator> {
+        CellularPathConfig config;
+        config.state_rates_mbps = {0.5, 3.0, 12.0, 36.0};
+        return std::make_unique<ModelGenerator<CellularPathModel>>(
+            CellularPathModel{config});
+      });
+  registry.register_family(
+      "wifi-home",
+      "home Wi-Fi with several streams behind one AP: strong good-state "
+      "rate, long good duty cycle; pair with contention topology 'wifi' "
+      "(per-flow fair queuing at 0.8x the aggregate)",
+      [](const ScenarioSpec&) -> std::unique_ptr<PathGenerator> {
+        WifiPathConfig config;
+        config.good_rate_mbps = 60.0;
+        config.duty_cycle = 0.75;
+        return std::make_unique<ModelGenerator<WifiPathModel>>(
+            WifiPathModel{config});
+      });
   registry.register_family(
       "trace-replay",
       "replays the Mahimahi packet-delivery trace at spec.trace_path behind "

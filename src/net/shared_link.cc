@@ -1,0 +1,181 @@
+#include "net/shared_link.hh"
+
+#include <algorithm>
+
+#include "util/require.hh"
+
+namespace puffer::net {
+
+SharedLinkSimulator::SharedLinkSimulator(const ThroughputTrace& trace,
+                                         SharedLinkConfig config)
+    : trace_(&trace), config_(config) {
+  require(config_.queue_capacity_bytes > 0.0,
+          "SharedLinkSimulator: queue capacity > 0");
+}
+
+int SharedLinkSimulator::add_flow() {
+  queues_.push_back(0.0);
+  offered_totals_.push_back(0.0);
+  delivered_totals_.push_back(0.0);
+  lost_totals_.push_back(0.0);
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+double SharedLinkSimulator::queue_bytes(const int flow) const {
+  return queues_[static_cast<size_t>(flow)];
+}
+
+double SharedLinkSimulator::total_queue_bytes() const {
+  double total = 0.0;
+  for (const double q : queues_) {
+    total += q;
+  }
+  return total;
+}
+
+double SharedLinkSimulator::offered_total(const int flow) const {
+  return offered_totals_[static_cast<size_t>(flow)];
+}
+
+double SharedLinkSimulator::delivered_total(const int flow) const {
+  return delivered_totals_[static_cast<size_t>(flow)];
+}
+
+double SharedLinkSimulator::lost_total(const int flow) const {
+  return lost_totals_[static_cast<size_t>(flow)];
+}
+
+void SharedLinkSimulator::step(const double now_s, const double dt,
+                               const std::span<const double> offered,
+                               const std::span<LinkStepResult> results) {
+  require(dt > 0.0, "SharedLinkSimulator::step: dt must be positive");
+  const auto n = queues_.size();
+  require(offered.size() == n && results.size() == n,
+          "SharedLinkSimulator::step: span sizes must equal num_flows");
+
+  // 1. Arrivals enter the per-flow queues (ascending flow order — the
+  // conservation contract's fold order).
+  double total_offered = 0.0;
+  for (size_t i = 0; i < n; i++) {
+    require(offered[i] >= 0.0, "SharedLinkSimulator::step: offered >= 0");
+    queues_[i] += offered[i];
+    offered_totals_[i] += offered[i];
+    total_offered += offered[i];
+  }
+
+  // 2. Drop-tail on the shared buffer: overflow is dropped from this step's
+  // arrivals in proportion to each flow's offered bytes. (Overflow can only
+  // appear because bytes arrived, so total_offered > 0 whenever it does.)
+  double total_queued = 0.0;
+  for (const double q : queues_) {
+    total_queued += q;
+  }
+  lost_.assign(n, 0.0);
+  if (total_queued > config_.queue_capacity_bytes && total_offered > 0.0) {
+    const double overflow = total_queued - config_.queue_capacity_bytes;
+    for (size_t i = 0; i < n; i++) {
+      // min() guards the FP crumbs of the proportional split; it cannot
+      // trigger in exact arithmetic (overflow <= total_offered).
+      lost_[i] = std::min(overflow * (offered[i] / total_offered), queues_[i]);
+      queues_[i] -= lost_[i];
+      lost_totals_[i] += lost_[i];
+    }
+  }
+
+  // 3. Drain at the mid-step capacity sample (the LinkSimulator convention).
+  const double capacity = trace_->capacity_at(now_s + dt * 0.5);
+  const double drainable = capacity * dt;
+  delivered_.assign(n, 0.0);
+  double backlog = 0.0;
+  for (const double q : queues_) {
+    backlog += q;
+  }
+  if (drainable > 0.0 && backlog > 0.0) {
+    if (backlog <= drainable) {
+      // Everyone drains fully under either share mode.
+      for (size_t i = 0; i < n; i++) {
+        delivered_[i] = queues_[i];
+      }
+    } else if (config_.mode == ShareMode::kFifo) {
+      // Fluid FIFO: drain in proportion to each flow's share of the queue.
+      for (size_t i = 0; i < n; i++) {
+        delivered_[i] = drainable * (queues_[i] / backlog);
+      }
+    } else {
+      // Max-min fair: smallest backlogs first (ties by flow index), each
+      // taking min(queue, equal share of what remains).
+      drain_order_.resize(n);
+      for (size_t i = 0; i < n; i++) {
+        drain_order_[i] = static_cast<int>(i);
+      }
+      std::sort(drain_order_.begin(), drain_order_.end(),
+                [&](const int a, const int b) {
+                  const double qa = queues_[static_cast<size_t>(a)];
+                  const double qb = queues_[static_cast<size_t>(b)];
+                  if (qa != qb) {
+                    return qa < qb;
+                  }
+                  return a < b;
+                });
+      double remaining = drainable;
+      for (size_t k = 0; k < n; k++) {
+        const auto i = static_cast<size_t>(drain_order_[k]);
+        const double share = remaining / static_cast<double>(n - k);
+        delivered_[i] = std::min(queues_[i], share);
+        remaining -= delivered_[i];
+      }
+    }
+  }
+  for (size_t i = 0; i < n; i++) {
+    queues_[i] -= delivered_[i];
+    delivered_totals_[i] += delivered_[i];
+  }
+
+  // 4. Per-flow queueing delay from the same capacity sample, pinned at the
+  // outage horizon when nothing can drain (LinkSimulator semantics).
+  double total_after = 0.0;
+  for (const double q : queues_) {
+    total_after += q;
+  }
+  const int backlogged =
+      static_cast<int>(std::count_if(queues_.begin(), queues_.end(),
+                                     [](const double q) { return q > 0.0; }));
+  for (size_t i = 0; i < n; i++) {
+    results[i] = LinkStepResult{};
+    results[i].delivered_bytes = delivered_[i];
+    results[i].lost_bytes = lost_[i];
+    if (capacity > 0.0) {
+      if (config_.mode == ShareMode::kFifo) {
+        // A FIFO arrival waits behind the whole shared backlog.
+        results[i].queue_delay_s =
+            std::min(total_after / capacity, LinkSimulator::kQueueDelayCapS);
+      } else {
+        // A fair-queued arrival waits behind its own backlog at its fair
+        // share of the capacity.
+        const double fair_rate =
+            capacity / static_cast<double>(std::max(backlogged, 1));
+        results[i].queue_delay_s =
+            std::min(queues_[i] / fair_rate, LinkSimulator::kQueueDelayCapS);
+      }
+    } else {
+      results[i].blocked = queues_[i] > 0.0;
+      results[i].queue_delay_s =
+          results[i].blocked ? LinkSimulator::kQueueDelayCapS : 0.0;
+    }
+  }
+}
+
+double jain_fairness_index(const std::span<const double> allocations) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq <= 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace puffer::net

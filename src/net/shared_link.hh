@@ -1,0 +1,100 @@
+#ifndef PUFFER_NET_SHARED_LINK_HH
+#define PUFFER_NET_SHARED_LINK_HH
+
+#include <span>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/trace.hh"
+
+namespace puffer::net {
+
+/// How a shared bottleneck splits its drain capacity among backlogged flows.
+enum class ShareMode {
+  /// One FIFO byte queue: each flow drains in proportion to its share of the
+  /// queued bytes (fluid limit of a single drop-tail FIFO), and every flow
+  /// sees the delay of the *total* backlog. Aggressive senders crowd out
+  /// timid ones — the CDN-edge / cell-tower default.
+  kFifo,
+  /// Per-flow fair queuing (fq_codel-style scheduling without the AQM):
+  /// max-min allocation of the drain capacity, so a flow's delay depends
+  /// only on its own backlog at its fair rate.
+  kFairQueue,
+};
+
+struct SharedLinkConfig {
+  ShareMode mode = ShareMode::kFifo;
+  /// Shared drop-tail buffer across all flows, in bytes.
+  double queue_capacity_bytes = 256.0 * 1024.0;
+};
+
+/// Fluid model of one bottleneck link shared by N flows: every flow offers
+/// bytes into the common drop-tail buffer and the trace capacity is split
+/// per `ShareMode`. The single-flow special case reproduces LinkSimulator's
+/// semantics (same mid-step capacity sample, same outage pinning).
+///
+/// Byte-conservation contract (exact, by construction): each step updates
+/// flow i's queue as
+///     q_i += offered_i;  q_i -= lost_i;  q_i -= delivered_i;
+/// in that order, per flow in ascending flow order, and accumulates the
+/// running totals with one `+=` per step in the same order. A mirror that
+/// replays those operations on the reported per-step results reproduces
+/// queue_bytes(i), offered_total(i), lost_total(i) and delivered_total(i)
+/// bit-for-bit — the property tests in tests/test_shared_link.cc hold this
+/// with exact equality, not a tolerance.
+///
+/// Determinism: the step is a pure function of (state, now_s, dt, offered);
+/// the fair-queue schedule breaks ties by ascending flow index. No entropy,
+/// no iteration over unordered containers.
+class SharedLinkSimulator {
+ public:
+  SharedLinkSimulator(const ThroughputTrace& trace, SharedLinkConfig config);
+
+  /// Register one flow; returns its index (assigned 0, 1, 2, ...).
+  int add_flow();
+
+  /// Advance the bottleneck by `dt` seconds from `now_s`. `offered[i]` is
+  /// flow i's arriving bytes; `results[i]` receives its delivered/lost
+  /// bytes and queueing delay. Both spans must have exactly num_flows()
+  /// entries. Overflow of the shared buffer is dropped from this step's
+  /// arrivals in proportion to each flow's offered bytes (tail drop hits
+  /// the burst that overflowed the buffer).
+  void step(double now_s, double dt, std::span<const double> offered,
+            std::span<LinkStepResult> results);
+
+  [[nodiscard]] int num_flows() const {
+    return static_cast<int>(queues_.size());
+  }
+  [[nodiscard]] double queue_bytes(int flow) const;
+  [[nodiscard]] double total_queue_bytes() const;
+  [[nodiscard]] double offered_total(int flow) const;
+  [[nodiscard]] double delivered_total(int flow) const;
+  [[nodiscard]] double lost_total(int flow) const;
+  [[nodiscard]] double capacity_at(double now_s) const {
+    return trace_->capacity_at(now_s);
+  }
+  [[nodiscard]] const SharedLinkConfig& config() const { return config_; }
+
+ private:
+  const ThroughputTrace* trace_;
+  SharedLinkConfig config_;
+
+  std::vector<double> queues_;
+  std::vector<double> offered_totals_;
+  std::vector<double> delivered_totals_;
+  std::vector<double> lost_totals_;
+
+  // Step scratch (member to avoid per-step allocation at fleet scale).
+  std::vector<double> lost_;
+  std::vector<double> delivered_;
+  std::vector<int> drain_order_;
+};
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// allocations, folded in ascending index order; 1.0 for n == 0 or an
+/// all-zero allocation (nothing to be unfair about).
+[[nodiscard]] double jain_fairness_index(std::span<const double> allocations);
+
+}  // namespace puffer::net
+
+#endif  // PUFFER_NET_SHARED_LINK_HH

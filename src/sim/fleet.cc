@@ -60,7 +60,7 @@ void run_shard(const FleetConfig& config,
   // Tear down a finished session: record the completion, free the task
   // (slot memory is recycled by the caller's pool via on_complete).
   const auto complete = [&](const size_t slot, const double end_time) {
-    stats.load.add(end_time, -1);
+    tasks[slot]->record_load(stats.load, arrival_time[slot], end_time);
     stats.virtual_duration_s = std::max(stats.virtual_duration_s, end_time);
     tasks[slot].reset();
     if (on_complete) {
@@ -93,8 +93,7 @@ void run_shard(const FleetConfig& config,
       tasks[slot] = factory(id, shard);
       require(tasks[slot] != nullptr, "FleetEngine: factory returned null");
       arrival_time[slot] = t;
-      stats.sessions++;
-      stats.load.add(t, +1);
+      stats.sessions += tasks[slot]->session_count();
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
       schedule_or_complete(slot);
       continue;

@@ -45,6 +45,24 @@ class FleetTask {
   /// Session-local elapsed virtual time; the engine maps it to the global
   /// timeline as arrival_time + elapsed_s().
   [[nodiscard]] virtual double elapsed_s() const = 0;
+
+  /// Number of fleet sessions this task embodies. 1 for ordinary session
+  /// tasks; a contention-group task co-simulating g sessions over one shared
+  /// bottleneck reports g, so FleetRunStats.sessions counts sessions, not
+  /// tasks.
+  [[nodiscard]] virtual int64_t session_count() const { return 1; }
+
+  /// Emit this task's +-1 concurrency deltas into the run's load series.
+  /// Called once, at task completion, with the task's global arrival and end
+  /// times. The default records one session spanning [arrival, end]; multi-
+  /// session tasks override to emit per-member spans. LoadSeries buffers
+  /// deltas and sorts at finalize(), so recording at completion instead of
+  /// admission cannot change the finalized series.
+  virtual void record_load(stats::LoadSeries& load, double arrival_s,
+                           double end_s) const {
+    load.add(arrival_s, +1);
+    load.add(end_s, -1);
+  }
 };
 
 struct FleetConfig {

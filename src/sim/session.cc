@@ -36,30 +36,42 @@ StreamSession::StreamSession(net::TcpSender& sender, abr::AbrAlgorithm& abr,
   }
 }
 
-bool StreamSession::prepare_chunk() {
+StreamSession::PrepareStep StreamSession::prepare_chunk_async(double& wait_s) {
   if (done_) {
-    return false;
+    return PrepareStep::kDone;
   }
   if (config_.max_stream_chunks > 0 &&
       outcome_.chunks_played >= config_.max_stream_chunks) {
     // Simulation budget reached; figures cover the played prefix.
     end_stream();
-    return false;
+    return PrepareStep::kDone;
   }
   // Server-side send pacing: wait until the client buffer has room for
   // another chunk (Puffer sends whenever there is room, section 6.2).
   if (playing_ && buffer_s_ + chunk_dur_ > config_.max_buffer_s) {
-    const double wait = buffer_s_ + chunk_dur_ - config_.max_buffer_s;
-    sender_.idle_until(sender_.now() + wait);
-    buffer_s_ -= wait;
-    played_s_ += wait;
-    if (played_s_ >= user_.watch_intent_s) {
-      // Viewer finished while we were waiting.
-      end_stream();
-      return false;
-    }
+    pending_wait_s_ = buffer_s_ + chunk_dur_ - config_.max_buffer_s;
+    wait_s = pending_wait_s_;
+    return PrepareStep::kWait;
   }
+  build_observation();
+  return PrepareStep::kDecision;
+}
 
+StreamSession::PrepareStep StreamSession::finish_wait() {
+  const double wait = pending_wait_s_;
+  pending_wait_s_ = 0.0;
+  buffer_s_ -= wait;
+  played_s_ += wait;
+  if (played_s_ >= user_.watch_intent_s) {
+    // Viewer finished while we were waiting.
+    end_stream();
+    return PrepareStep::kDone;
+  }
+  build_observation();
+  return PrepareStep::kDecision;
+}
+
+void StreamSession::build_observation() {
   // Expose the pending ABR decision.
   obs_ = abr::AbrObservation{};
   obs_.chunk_index = next_chunk_;
@@ -70,30 +82,43 @@ bool StreamSession::prepare_chunk() {
   for (int k = 0; k < config_.lookahead_chunks; k++) {
     lookahead_[static_cast<size_t>(k)] = video_.chunk_options(next_chunk_ + k);
   }
-  return true;
 }
 
-void StreamSession::finish_chunk() {
-  require(!done_, "StreamSession::finish_chunk: stream is over");
+bool StreamSession::prepare_chunk() {
+  double wait_s = 0.0;
+  PrepareStep step = prepare_chunk_async(wait_s);
+  if (step == PrepareStep::kWait) {
+    sender_.idle_until(sender_.now() + wait_s);
+    step = finish_wait();
+  }
+  return step == PrepareStep::kDecision;
+}
+
+double StreamSession::begin_chunk() {
+  require(!done_, "StreamSession::begin_chunk: stream is over");
 
   // ABR decision.
   const int rung = abr_.choose_rung(obs_, lookahead_);
   require(rung >= 0 && rung < media::kNumRungs, "run_stream: bad rung");
-  const media::ChunkVersion version = lookahead_[0].version(rung);
-
-  // Transfer.
-  const net::TcpInfo tcp_at_send = sender_.info();
+  pending_rung_ = rung;
+  pending_version_ = lookahead_[0].version(rung);
+  pending_tcp_at_send_ = sender_.info();
   if (observer_ != nullptr) {
     abr::ChunkRecord sent;
     sent.chunk_index = next_chunk_;
     sent.rung = rung;
-    sent.size_bytes = version.size_bytes;
-    sent.ssim_db = version.ssim_db;
-    sent.tcp_at_send = tcp_at_send;
+    sent.size_bytes = pending_version_.size_bytes;
+    sent.ssim_db = pending_version_.ssim_db;
+    sent.tcp_at_send = pending_tcp_at_send_;
     observer_->on_video_sent(sender_.now(), sent, buffer_s_);
   }
-  const net::TransferResult transfer =
-      sender_.transfer(static_cast<double>(version.size_bytes));
+  return static_cast<double>(pending_version_.size_bytes);
+}
+
+void StreamSession::complete_chunk(const net::TransferResult& transfer) {
+  const int rung = pending_rung_;
+  const media::ChunkVersion version = pending_version_;
+  const net::TcpInfo tcp_at_send = pending_tcp_at_send_;
   const double tx = transfer.transmission_time();
   if (observer_ != nullptr) {
     observer_->on_video_acked(transfer.completion_s, next_chunk_);
@@ -192,6 +217,11 @@ void StreamSession::finish_chunk() {
   if (user_left_ || played_s_ >= user_.watch_intent_s) {
     end_stream();
   }
+}
+
+void StreamSession::finish_chunk() {
+  const double bytes = begin_chunk();
+  complete_chunk(sender_.transfer(bytes));
 }
 
 void StreamSession::end_stream() {

@@ -97,6 +97,32 @@ class StreamSession {
   /// needed). Returns false once the stream is over.
   bool prepare_chunk();
 
+  /// Async variant of the prepare/finish protocol, for drivers that cannot
+  /// let the session block the sender (shared-bottleneck worlds advance all
+  /// of a group's connections in lockstep):
+  ///
+  ///   prepare_chunk_async -> kDecision: decide via observation()/lookahead()
+  ///                          then begin_chunk() -> transfer the returned
+  ///                          bytes -> complete_chunk(result)
+  ///                       -> kWait:     idle the connection for *wait_s of
+  ///                          virtual time, then call finish_wait() (which
+  ///                          yields kDecision or kDone)
+  ///                       -> kDone:     stream over, take_outcome()
+  ///
+  /// prepare_chunk()/finish_chunk() are exactly this protocol driven against
+  /// the session's own sender, so both drivers are bit-identical.
+  enum class PrepareStep { kDecision, kWait, kDone };
+  PrepareStep prepare_chunk_async(double& wait_s);
+  /// Completes the buffer/playback accounting of a kWait after the caller
+  /// idled the connection for the requested wait.
+  PrepareStep finish_wait();
+
+  /// Choose the rung for the prepared decision and emit the video_sent
+  /// record; returns the chunk size in bytes for the caller to transfer.
+  double begin_chunk();
+  /// Playback/QoE accounting for the transfer begin_chunk() started.
+  void complete_chunk(const net::TransferResult& transfer);
+
   /// Observation / lookahead of the pending decision (valid after a true
   /// prepare_chunk(), until finish_chunk()).
   [[nodiscard]] const abr::AbrObservation& observation() const { return obs_; }
@@ -114,6 +140,7 @@ class StreamSession {
   StreamOutcome take_outcome();
 
  private:
+  void build_observation();
   void end_stream();
 
   net::TcpSender& sender_;
@@ -143,6 +170,12 @@ class StreamSession {
 
   abr::AbrObservation obs_;
   std::vector<media::ChunkOptions> lookahead_;
+
+  // Pending-wait / pending-chunk state of the async protocol.
+  double pending_wait_s_ = 0.0;
+  int pending_rung_ = -1;
+  media::ChunkVersion pending_version_{};
+  net::TcpInfo pending_tcp_at_send_{};
 };
 
 /// Run one stream: the viewer watches `video` starting at `first_chunk`

@@ -688,6 +688,89 @@ TEST(FleetTrial, FlashCrowdDrivesConcurrencySpike) {
   EXPECT_GE(result.fleet.load.peak(), 8);
 }
 
+// ---------------------------------------------------------------------------
+// Contention groups (shared bottlenecks)
+// ---------------------------------------------------------------------------
+
+exp::FleetTrialConfig contention_config(const std::string& topology,
+                                        const int group_size) {
+  exp::FleetTrialConfig config = fleet_config();
+  config.trial.scenario = net::ScenarioSpec{"edge-contention"};
+  config.contention = exp::make_contention_spec(topology, group_size);
+  return config;
+}
+
+/// Tentpole acceptance: contention groups are single engine tasks, so the
+/// fleet == sequential bitwise contract survives any shard count and thread
+/// count with shared bottlenecks in play — results, load series, and the
+/// per-group fairness indices all bit-identical.
+TEST(FleetTrial, ContentionBitIdenticalAcrossShardAndThreadCounts) {
+  exp::FleetTrialConfig config = contention_config("edge", 4);
+  config.num_shards = 1;
+  const exp::FleetTrialResult baseline =
+      exp::run_fleet_trial(config, fleet_factory());
+  ASSERT_FALSE(baseline.group_fairness.empty());
+  for (const int shards : {1, 2, 4, 8}) {
+    for (const int threads : {2, 4}) {
+      config.num_shards = shards;
+      config.trial.num_threads = threads;
+      const exp::FleetTrialResult run =
+          exp::run_fleet_trial(config, fleet_factory());
+      expect_identical(baseline.trial, run.trial);
+      EXPECT_EQ(baseline.fleet.sessions, run.fleet.sessions);
+      EXPECT_EQ(baseline.fleet.decisions, run.fleet.decisions);
+      expect_same_bits(baseline.fleet.virtual_duration_s,
+                       run.fleet.virtual_duration_s);
+      ASSERT_EQ(baseline.fleet.load.points().size(),
+                run.fleet.load.points().size());
+      for (size_t i = 0; i < baseline.fleet.load.points().size(); i++) {
+        expect_same_bits(baseline.fleet.load.points()[i].time_s,
+                         run.fleet.load.points()[i].time_s);
+        EXPECT_EQ(baseline.fleet.load.points()[i].level,
+                  run.fleet.load.points()[i].level);
+      }
+      ASSERT_EQ(baseline.group_fairness.size(), run.group_fairness.size());
+      for (size_t g = 0; g < baseline.group_fairness.size(); g++) {
+        expect_same_bits(baseline.group_fairness[g], run.group_fairness[g]);
+      }
+    }
+  }
+}
+
+/// Shape and sanity of a contention run: one group per group_size plans,
+/// every session still counted, fairness indices in (0, 1].
+TEST(FleetTrial, ContentionGroupShapeAndFairness) {
+  for (const char* topology : {"edge", "tower", "wifi"}) {
+    const exp::FleetTrialConfig config = contention_config(topology, 4);
+    const exp::FleetTrialResult result =
+        exp::run_fleet_trial(config, fleet_factory());
+    const int64_t total = static_cast<int64_t>(config.trial.schemes.size()) *
+                          config.trial.sessions_per_scheme;
+    EXPECT_EQ(result.fleet.sessions, total);
+    EXPECT_EQ(result.group_fairness.size(),
+              static_cast<size_t>((total + 3) / 4));
+    int64_t consort_sessions = 0;
+    for (const auto& scheme : result.trial.schemes) {
+      consort_sessions += scheme.consort.sessions;
+    }
+    EXPECT_EQ(consort_sessions, total);
+    for (const double fairness : result.group_fairness) {
+      EXPECT_GT(fairness, 0.0);
+      EXPECT_LE(fairness, 1.0);
+    }
+  }
+}
+
+/// Contention grouping is RCT-only: the paired-replay design would put the
+/// same plan's per-scheme copies behind one bottleneck, which is neither the
+/// paired contract nor a meaningful RCT.
+TEST(FleetTrial, ContentionRejectsPairedMode) {
+  exp::FleetTrialConfig config = contention_config("edge", 2);
+  config.trial.paired_paths = true;
+  EXPECT_THROW(static_cast<void>(exp::run_fleet_trial(config, fleet_factory())),
+               RequirementError);
+}
+
 TEST(FleetTrial, EmptyTrialIsFine) {
   exp::FleetTrialConfig config = fleet_config();
   config.trial.sessions_per_scheme = 0;

@@ -35,16 +35,30 @@ struct GoldenRow {
 // Pinned with PUFFER_UPDATE_GOLDEN=1 at the introduction of the scenario
 // engine. Each row aggregates one 2-scheme x 6-session RCT (seed 20190119)
 // over the named family, run through the parallel runner (3 workers).
+//
+// Regenerated when the contention families landed, for two reasons: three
+// new rows (cell-shared, edge-contention, wifi-home), and two
+// congestion-control bugfixes that legitimately moved every pre-existing
+// family's numbers — BBR's min-RTT estimate now seeds from the first RTT
+// sample and expires through a 10 s window instead of a permanent 0.100 s
+// floor (high-RTT families like satellite gain the most: the old floor
+// under-sized cwnd by ~6x there), and the drop-tail link's queue-delay
+// estimate now uses the same mid-step capacity sample as the drain and is
+// capped at the outage horizon instead of a 1 byte/s floor (trims phantom
+// startup delay and stall mass everywhere outages or sharp dips occur).
 const std::vector<GoldenRow> kGolden = {
     // clang-format off
-    {"cellular", 20, 14.961938398499864, 0.073808065792480435, 1.0754803206571895},
-    {"diurnal", 18, 15.840789791149469, 0.00019457291965654911, 0.52898517269636836},
-    {"fcc-emulation", 17, 14.135927566578331, 0.0036498858665471243, 0.71089069546018069},
-    {"markov-cs2p", 17, 14.952920232597243, 0.00030357430491616489, 0.58109927141586049},
-    {"puffer", 17, 14.672722209709498, 0.0037523567269284615, 0.66412238004124524},
-    {"satellite", 16, 9.2474438239548125, 0.17906366849845873, 2.8192134089519536},
-    {"trace-replay", 19, 14.593251432404713, 0.011348912088502444, 0.60150108653527323},
-    {"wifi-oscillating", 16, 16.910485510393709, 0.0, 0.46494228375384661},
+    {"cell-shared", 21, 14.775255874071471, 0.054845132219229334, 0.87108185959933893},
+    {"cellular", 19, 14.682238272977292, 0.066598201220210124, 0.87811203952988137},
+    {"diurnal", 18, 15.836895426488091, 0.00023257649301439452, 0.53211889213643415},
+    {"edge-contention", 16, 16.633737779323404, 0.0012180524670664555, 0.48111177082077961},
+    {"fcc-emulation", 18, 14.162589087943285, 0.0052588868488099606, 0.69899696432509517},
+    {"markov-cs2p", 18, 14.849635019519058, 0.00026120653977208228, 0.58210771222838076},
+    {"puffer", 16, 15.158058862258137, 0.0040576666111808001, 0.58191292061067346},
+    {"satellite", 17, 16.138400285743899, 0.0048698386182720477, 0.79316795096055781},
+    {"trace-replay", 19, 14.70931448677737, 0.011251132199831889, 0.59447421106504295},
+    {"wifi-home", 18, 16.754398628277571, 0, 0.44647877603467584},
+    {"wifi-oscillating", 16, 16.910485510393709, 0, 0.46461546751322852},
     // clang-format on
 };
 

@@ -86,6 +86,40 @@ TEST(Link, ZeroCapacitySegmentHoldsQueue) {
   EXPECT_DOUBLE_EQ(link.queue_bytes(), 0.0);
 }
 
+TEST(Link, OutageReportsCappedBlockedDelay) {
+  // Regression: a zero-capacity outage used to report the backlog divided by
+  // a 1 byte/s floor (~250,000 s of "queueing delay" for a 250 kB queue).
+  // It must pin at the outage horizon and raise the blocked flag instead.
+  ThroughputTrace trace{{1000.0, 0.0}, 1.0};
+  LinkSimulator link{trace, 1e6};
+  const auto live = link.step(0.0, 0.5, 2000.0);
+  EXPECT_FALSE(live.blocked);
+  EXPECT_DOUBLE_EQ(live.delivered_bytes, 500.0);
+  EXPECT_DOUBLE_EQ(live.queue_delay_s, 1.5);  // 1500 B backlog at 1000 B/s
+  const auto outage = link.step(1.2, 0.1, 100.0);
+  EXPECT_TRUE(outage.blocked);
+  EXPECT_DOUBLE_EQ(outage.queue_delay_s, LinkSimulator::kQueueDelayCapS);
+  // An empty queue during an outage is just idle: no delay, not blocked.
+  ThroughputTrace dead{{0.0}, 1.0};
+  LinkSimulator idle{dead, 1e6};
+  const auto nothing = idle.step(0.0, 0.1, 0.0);
+  EXPECT_FALSE(nothing.blocked);
+  EXPECT_DOUBLE_EQ(nothing.queue_delay_s, 0.0);
+}
+
+TEST(Link, DelayUsesSameMidStepSampleAsDrain) {
+  // Regression: the drain used the mid-step capacity but the delay divided
+  // by the end-of-step capacity, so a segment boundary inside the step made
+  // the reported delay disagree with the drain that actually happened. One
+  // consistent sample now feeds both.
+  ThroughputTrace trace{{1000.0, 4000.0}, 1.0};
+  LinkSimulator link{trace, 1e6};
+  // Step [0.8, 1.2): the mid-step instant 1.0 lies in the 4000 B/s segment.
+  const auto result = link.step(0.8, 0.4, 2000.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bytes, 1600.0);   // 4000 * 0.4
+  EXPECT_DOUBLE_EQ(result.queue_delay_s, 400.0 / 4000.0);
+}
+
 TEST(Link, OverflowAccountingConservesBytes) {
   // Conservation under heavy loss: offered = delivered + queued + lost,
   // with a queue small enough that drops actually happen.
@@ -306,6 +340,44 @@ TEST(Bbr, TracksCapacityDrop) {
     sender.transfer(100e3);
   }
   EXPECT_LT(bbr->btl_bw_bps(), 4.0 * kMbps);
+}
+
+TEST(Bbr, MinRttWindowExpiresStaleSamples) {
+  // Regression: min_rtt was a lifetime monotone minimum seeded at 100 ms, so
+  // it could only ever shrink. BBR.RTprop is a ~10 s windowed minimum; after
+  // the path's RTT rises and the window passes, the estimate must follow.
+  BbrModel bbr;
+  CcSample sample;
+  sample.dt_s = 0.01;
+  sample.acked_bytes = 3000.0;
+  sample.now_s = 0.0;
+  sample.rtt_sample_s = 0.050;
+  sample.min_rtt_s = 0.050;
+  bbr.on_sample(sample);
+  EXPECT_DOUBLE_EQ(bbr.min_rtt_s(), 0.050);
+  for (double t = 0.1; t < 15.0; t += 0.1) {
+    sample.now_s = t;
+    sample.rtt_sample_s = 0.200;
+    sample.min_rtt_s = 0.200;
+    bbr.on_sample(sample);
+  }
+  EXPECT_DOUBLE_EQ(bbr.min_rtt_s(), 0.200);
+}
+
+TEST(Bbr, HighRttPathReachesFullBdpCwnd) {
+  // Regression (satellite paths): the 100 ms min_rtt seed acted as a
+  // permanent ceiling on a 600 ms path — BBR's cwnd targeted ~1/6 of the
+  // true BDP forever. Seeded from the first genuine sample, the window must
+  // reach at least ~1 BDP.
+  const NetworkPath path{ThroughputTrace{{4.0 * kMbps}, 1.0}, 0.600};
+  auto bbr_owner = std::make_unique<BbrModel>();
+  BbrModel* bbr = bbr_owner.get();
+  TcpSender sender{path, std::move(bbr_owner),
+                   TcpSender::default_queue_capacity(path)};
+  sender.transfer(2e7);  // long enough to leave startup and settle
+  EXPECT_GE(bbr->min_rtt_s(), 0.600);
+  const double bdp_bytes = 4.0 * kMbps * 0.600;
+  EXPECT_GE(sender.info().cwnd_pkts * 1500.0, 0.9 * bdp_bytes);
 }
 
 TEST(Cubic, BacksOffOnLoss) {

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/cubic.hh"
+#include "net/link.hh"
+#include "net/shared_link.hh"
+#include "net/tcp_sender.hh"
+#include "net/trace.hh"
+#include "util/rng.hh"
+
+namespace puffer {
+namespace {
+
+using net::LinkStepResult;
+using net::ShareMode;
+using net::SharedLinkConfig;
+using net::SharedLinkSimulator;
+using net::ThroughputTrace;
+
+void expect_same_bits(const double a, const double b) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b));
+}
+
+ThroughputTrace flat_trace(const double rate_bps, const double duration_s) {
+  return ThroughputTrace{{rate_bps}, duration_s};
+}
+
+// ---------------------------------------------------------------------------
+// Conservation (exact, bitwise)
+// ---------------------------------------------------------------------------
+
+/// Property: replaying the reported per-step (offered, lost, delivered)
+/// through the documented fold order — q += offered; q -= lost;
+/// q -= delivered, ascending flow order — reproduces the simulator's queues
+/// and totals EXACTLY (bit-for-bit), under randomized flows, rates, steps
+/// and both share modes. Bytes are conserved by construction, not to a
+/// tolerance.
+TEST(SharedLink, ConservationExactUnderRandomizedLoad) {
+  Rng rng{20200225};
+  for (int round = 0; round < 20; round++) {
+    const int num_flows = static_cast<int>(rng.uniform_int(1, 6));
+    const auto mode = rng.bernoulli(0.5) ? ShareMode::kFifo
+                                         : ShareMode::kFairQueue;
+    // Capacity trace with segment boundaries inside steps, incl. outages.
+    std::vector<double> rates;
+    for (int seg = 0; seg < 40; seg++) {
+      rates.push_back(rng.bernoulli(0.1) ? 0.0 : rng.uniform(1e4, 2e6));
+    }
+    const ThroughputTrace trace{rates, 0.25};
+    SharedLinkConfig config;
+    config.mode = mode;
+    config.queue_capacity_bytes = rng.uniform(16.0 * 1024.0, 256.0 * 1024.0);
+    SharedLinkSimulator link{trace, config};
+
+    const auto n = static_cast<size_t>(num_flows);
+    std::vector<double> mirror_q(n, 0.0), mirror_off(n, 0.0),
+        mirror_lost(n, 0.0), mirror_del(n, 0.0);
+    for (int f = 0; f < num_flows; f++) {
+      ASSERT_EQ(link.add_flow(), f);
+    }
+
+    std::vector<double> offered(n, 0.0);
+    std::vector<LinkStepResult> results(n);
+    double now = 0.0;
+    for (int s = 0; s < 200; s++) {
+      const double dt = rng.uniform(0.002, 0.1);
+      for (size_t i = 0; i < n; i++) {
+        offered[i] = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 40000.0);
+      }
+      link.step(now, dt, offered, results);
+      now += dt;
+
+      for (size_t i = 0; i < n; i++) {
+        mirror_q[i] += offered[i];
+        mirror_q[i] -= results[i].lost_bytes;
+        mirror_q[i] -= results[i].delivered_bytes;
+        mirror_off[i] += offered[i];
+        mirror_lost[i] += results[i].lost_bytes;
+        mirror_del[i] += results[i].delivered_bytes;
+
+        expect_same_bits(mirror_q[i], link.queue_bytes(static_cast<int>(i)));
+        expect_same_bits(mirror_off[i],
+                         link.offered_total(static_cast<int>(i)));
+        expect_same_bits(mirror_lost[i], link.lost_total(static_cast<int>(i)));
+        expect_same_bits(mirror_del[i],
+                         link.delivered_total(static_cast<int>(i)));
+        EXPECT_GE(results[i].delivered_bytes, 0.0);
+        EXPECT_GE(results[i].lost_bytes, 0.0);
+        EXPECT_GE(mirror_q[i], 0.0);
+      }
+    }
+  }
+}
+
+/// Same state, same inputs, same bits: the step is a pure function with no
+/// hidden entropy or container-order dependence.
+TEST(SharedLink, DeterministicReplay) {
+  const ThroughputTrace trace{{5e5, 2e5, 0.0, 8e5}, 0.5};
+  const auto run = [&] {
+    SharedLinkConfig config;
+    config.mode = ShareMode::kFairQueue;
+    SharedLinkSimulator link{trace, config};
+    for (int f = 0; f < 3; f++) {
+      link.add_flow();
+    }
+    Rng rng{7};
+    std::vector<double> offered(3, 0.0);
+    std::vector<LinkStepResult> results(3);
+    std::vector<double> transcript;
+    double now = 0.0;
+    for (int s = 0; s < 100; s++) {
+      const double dt = rng.uniform(0.005, 0.05);
+      for (double& o : offered) {
+        o = rng.uniform(0.0, 30000.0);
+      }
+      link.step(now, dt, offered, results);
+      now += dt;
+      for (const LinkStepResult& r : results) {
+        transcript.push_back(r.delivered_bytes);
+        transcript.push_back(r.lost_bytes);
+        transcript.push_back(r.queue_delay_s);
+      }
+    }
+    return transcript;
+  };
+  const std::vector<double> a = run();
+  const std::vector<double> b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    expect_same_bits(a[i], b[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-flow equivalence with LinkSimulator
+// ---------------------------------------------------------------------------
+
+/// With one flow, the shared link in FIFO mode IS LinkSimulator: same
+/// arrivals, same mid-step capacity sample, same drop-tail, same delay and
+/// outage pinning — bit for bit.
+TEST(SharedLink, SingleFlowMatchesLinkSimulator) {
+  const ThroughputTrace trace{{4e5, 0.0, 1e5, 9e5}, 0.4};
+  constexpr double kQueueCapacity = 48.0 * 1024.0;
+  SharedLinkConfig config;
+  config.queue_capacity_bytes = kQueueCapacity;
+  SharedLinkSimulator shared{trace, config};
+  net::LinkSimulator single{trace, kQueueCapacity};
+  ASSERT_EQ(shared.add_flow(), 0);
+
+  Rng rng{99};
+  std::vector<double> offered(1, 0.0);
+  std::vector<LinkStepResult> results(1);
+  double now = 0.0;
+  for (int s = 0; s < 300; s++) {
+    const double dt = rng.uniform(0.002, 0.08);
+    offered[0] = rng.bernoulli(0.25) ? 0.0 : rng.uniform(0.0, 60000.0);
+    shared.step(now, dt, offered, results);
+    const LinkStepResult expected = single.step(now, dt, offered[0]);
+    now += dt;
+    expect_same_bits(results[0].delivered_bytes, expected.delivered_bytes);
+    expect_same_bits(results[0].lost_bytes, expected.lost_bytes);
+    expect_same_bits(results[0].queue_delay_s, expected.queue_delay_s);
+    EXPECT_EQ(results[0].blocked, expected.blocked);
+    expect_same_bits(shared.queue_bytes(0), single.queue_bytes());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Share modes
+// ---------------------------------------------------------------------------
+
+/// Max-min allocation in one step: a small flow drains fully, the rest split
+/// the remaining capacity equally.
+TEST(SharedLink, FairQueueIsMaxMin) {
+  const ThroughputTrace trace = flat_trace(1000.0, 1000.0);
+  SharedLinkConfig config;
+  config.mode = ShareMode::kFairQueue;
+  config.queue_capacity_bytes = 1e9;  // no drops in this test
+  SharedLinkSimulator link{trace, config};
+  for (int f = 0; f < 3; f++) {
+    link.add_flow();
+  }
+  const std::vector<double> offered = {100.0, 10000.0, 10000.0};
+  std::vector<LinkStepResult> results(3);
+  link.step(0.0, 1.0, offered, results);  // drainable = 1000 bytes
+  EXPECT_DOUBLE_EQ(results[0].delivered_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(results[1].delivered_bytes, 450.0);
+  EXPECT_DOUBLE_EQ(results[2].delivered_bytes, 450.0);
+  // Fair-queue delay: own backlog at the fair rate (capacity / backlogged).
+  EXPECT_DOUBLE_EQ(results[0].queue_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(results[1].queue_delay_s, 9550.0 / 500.0);
+}
+
+/// FIFO drains in proportion to queue share and every flow sees the delay of
+/// the whole shared backlog — the crowd-out mechanism.
+TEST(SharedLink, FifoDrainsProportionallyWithSharedDelay) {
+  const ThroughputTrace trace = flat_trace(1000.0, 1000.0);
+  SharedLinkConfig config;
+  config.queue_capacity_bytes = 1e9;
+  SharedLinkSimulator link{trace, config};
+  for (int f = 0; f < 2; f++) {
+    link.add_flow();
+  }
+  const std::vector<double> offered = {3000.0, 9000.0};
+  std::vector<LinkStepResult> results(2);
+  link.step(0.0, 1.0, offered, results);
+  EXPECT_DOUBLE_EQ(results[0].delivered_bytes, 250.0);  // 1000 * 3000/12000
+  EXPECT_DOUBLE_EQ(results[1].delivered_bytes, 750.0);
+  // Both wait behind the full 11000-byte residual backlog.
+  EXPECT_DOUBLE_EQ(results[0].queue_delay_s, 11.0);
+  EXPECT_DOUBLE_EQ(results[1].queue_delay_s, 11.0);
+}
+
+/// Drop-tail overflow is taken from this step's arrivals in proportion to
+/// each flow's offered bytes.
+TEST(SharedLink, DropTailSplitsOverflowByOfferedBytes) {
+  const ThroughputTrace trace = flat_trace(0.0, 1000.0);  // nothing drains
+  SharedLinkConfig config;
+  config.queue_capacity_bytes = 6000.0;
+  SharedLinkSimulator link{trace, config};
+  for (int f = 0; f < 2; f++) {
+    link.add_flow();
+  }
+  const std::vector<double> offered = {2000.0, 6000.0};
+  std::vector<LinkStepResult> results(2);
+  link.step(0.0, 0.1, offered, results);  // 8000 offered into a 6000 buffer
+  EXPECT_DOUBLE_EQ(results[0].lost_bytes, 500.0);   // 2000 * 2000/8000
+  EXPECT_DOUBLE_EQ(results[1].lost_bytes, 1500.0);  // 2000 * 6000/8000
+  EXPECT_DOUBLE_EQ(link.total_queue_bytes(), 6000.0);
+  // Zero capacity with a held queue: blocked, delay pinned at the horizon.
+  EXPECT_TRUE(results[0].blocked);
+  EXPECT_DOUBLE_EQ(results[0].queue_delay_s,
+                   net::LinkSimulator::kQueueDelayCapS);
+}
+
+TEST(SharedLink, JainFairnessIndexBasics) {
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index({}), 1.0);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index(zero), 1.0);
+  const std::vector<double> equal = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index(equal), 1.0);
+  const std::vector<double> one_hot = {4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index(one_hot), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Congestion-control fairness over the shared link
+// ---------------------------------------------------------------------------
+
+/// Two identical CUBIC flows over one flat bottleneck converge to an even
+/// split: Jain fairness >= 0.9 over the window where both are active, even
+/// with a staggered start. Driven through the externally-driven TcpSender
+/// protocol — the same lockstep loop the contention worlds run.
+TEST(SharedLink, TwoCubicFlowsConvergeToFairShare) {
+  const double rate_bps = 1.25e6;  // 10 Mbit/s
+  const ThroughputTrace trace = flat_trace(rate_bps, 10000.0);
+  SharedLinkConfig config;
+  config.mode = ShareMode::kFifo;
+  config.queue_capacity_bytes = 2.0 * rate_bps * 0.05;  // ~2 BDP
+  SharedLinkSimulator link{trace, config};
+
+  std::vector<std::unique_ptr<net::TcpSender>> senders;
+  for (int f = 0; f < 2; f++) {
+    ASSERT_EQ(link.add_flow(), f);
+    senders.push_back(std::make_unique<net::TcpSender>(
+        0.050, std::make_unique<net::CubicModel>()));
+  }
+  senders[0]->start_transfer(1e12);  // effectively unbounded backlogs
+
+  std::vector<double> offered(2, 0.0);
+  std::vector<LinkStepResult> results(2);
+  double now = 0.0;
+  bool second_started = false;
+  std::vector<double> window_start = {0.0, 0.0};
+  const double kSecondStartS = 10.0;
+  const double kEndS = 190.0;
+  while (now < kEndS) {
+    if (!second_started && now >= kSecondStartS) {
+      senders[1]->start_transfer(1e12);
+      second_started = true;
+      // Fairness is judged over the window where both flows compete.
+      for (int f = 0; f < 2; f++) {
+        window_start[static_cast<size_t>(f)] = link.delivered_total(f);
+      }
+    }
+    double dt = senders[0]->preferred_dt();
+    if (second_started) {
+      dt = std::min(dt, senders[1]->preferred_dt());
+    }
+    for (size_t f = 0; f < senders.size(); f++) {
+      offered[f] = senders[f]->offered_step(dt);
+    }
+    link.step(now, dt, offered, results);
+    for (size_t f = 0; f < senders.size(); f++) {
+      senders[f]->absorb_step(dt, results[f]);
+    }
+    now += dt;
+  }
+  ASSERT_TRUE(second_started);
+  const std::vector<double> shares = {
+      link.delivered_total(0) - window_start[0],
+      link.delivered_total(1) - window_start[1]};
+  EXPECT_GT(shares[0], 0.0);
+  EXPECT_GT(shares[1], 0.0);
+  EXPECT_GE(net::jain_fairness_index(shares), 0.9);
+  // The bottleneck stayed busy: together they filled most of the pipe.
+  const double window_s = kEndS - kSecondStartS;
+  EXPECT_GT(shares[0] + shares[1], 0.7 * rate_bps * window_s);
+}
+
+}  // namespace
+}  // namespace puffer
