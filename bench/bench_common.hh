@@ -11,6 +11,7 @@
 
 #include "exp/models.hh"
 #include "exp/trial_cache.hh"
+#include "obs/metrics.hh"
 #include "stats/summary.hh"
 
 namespace puffer::bench {
@@ -149,6 +150,32 @@ class JsonWriter {
 
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Flatten a sim-plane metrics snapshot into `<prefix><name>` fields:
+/// counters and gauges emit their value (gauges additionally their
+/// high-water as `.peak`), histograms their observation count and bucket
+/// array. Field order is the snapshot's registration order, so the JSON
+/// stays diff-friendly across runs.
+inline void metrics_fields(JsonWriter& json,
+                           const obs::MetricSnapshot& snapshot,
+                           const std::string& prefix = "metrics.") {
+  for (const auto& metric : snapshot.metrics) {
+    const std::string key = prefix + metric.name;
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+        json.field(key, metric.value);
+        break;
+      case obs::MetricKind::kGauge:
+        json.field(key, metric.value);
+        json.field(key + ".peak", metric.high_water);
+        break;
+      case obs::MetricKind::kHistogram:
+        json.field(key + ".count", metric.count);
+        json.field(key + ".buckets", metric.buckets);
+        break;
+    }
+  }
+}
 
 /// Sessions per scheme for the trial-based benches. Override with
 /// PUFFER_BENCH_SESSIONS; the default gives stable orderings in minutes of

@@ -6,31 +6,57 @@
 // Fugu vs static MPC-HM).
 //
 //   ./campaign_shift [familyA] [familyB] [days_per_phase]
+//                    [--trace-out PATH] [--metrics-out PATH]
 //
 // Families accept ScenarioSpec::parse syntax, so "trace-replay:my.trace"
-// works. Defaults: puffer cellular 3.
+// works. Defaults: puffer cellular 3. --trace-out writes the completed days
+// as virtual-time lanes (Chrome trace-event JSON) plus the perf plane's
+// wall-clock lanes; --metrics-out dumps the campaign's sim-plane counters.
 //
 //   PUFFER_CAMPAIGN_DAYS     days per phase when argv[3] is absent
 //   PUFFER_BENCH_SESSIONS    telemetry sessions per day (default 48)
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "exp/campaign.hh"
+#include "obs/prof.hh"
+#include "obs/trace.hh"
+#include "util/require.hh"
 #include "util/table.hh"
 
 int main(int argc, char** argv) {
   using namespace puffer;
 
+  std::string trace_path, metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      require(i + 1 < argc, "campaign_shift: missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   const net::ScenarioSpec before =
-      net::ScenarioSpec::parse(argc > 1 ? argv[1] : "puffer");
-  const net::ScenarioSpec after =
-      net::ScenarioSpec::parse(argc > 2 ? argv[2] : "cellular");
+      net::ScenarioSpec::parse(!positional.empty() ? positional[0] : "puffer");
+  const net::ScenarioSpec after = net::ScenarioSpec::parse(
+      positional.size() > 1 ? positional[1] : "cellular");
   const char* days_env = std::getenv("PUFFER_CAMPAIGN_DAYS");
   const int env_days = days_env != nullptr ? std::atoi(days_env) : 0;
-  const int per_phase = argc > 3 ? std::max(1, std::atoi(argv[3]))
-                                 : (env_days > 0 ? env_days : 3);
+  const int per_phase = positional.size() > 2
+                            ? std::max(1, std::atoi(positional[2].c_str()))
+                            : (env_days > 0 ? env_days : 3);
 
   exp::CampaignArm fugu;
   fugu.name = "fugu-daily";
@@ -63,6 +89,7 @@ int main(int argc, char** argv) {
               config.checkpoint_dir.c_str());
 
   exp::Campaign campaign{config};
+  obs::prof_reset();  // scope the wall lanes to the campaign itself
   const exp::CampaignResult result = campaign.run();
   if (result.restored_days > 0) {
     std::printf("[resume] restored %d completed day(s) from the checkpoint\n\n",
@@ -91,5 +118,25 @@ int main(int argc, char** argv) {
               "scenario (CE %.3f on the shift day -> %.3f by day %d): %s\n",
               shift_day.cross_entropy, final_day.cross_entropy,
               result.days.back().day, holds ? "holds" : "VIOLATED");
+
+  if (!trace_path.empty()) {
+    obs::TraceWriter trace;
+    campaign.export_trace(trace);  // virtual-time day lanes (deterministic)
+    obs::prof_export_trace(trace);  // wall-clock lanes (perf plane)
+    trace.write_file(trace_path);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                trace.event_count());
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* file = std::fopen(metrics_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
+    } else {
+      const std::string body = campaign.metrics().to_json();
+      std::fwrite(body.data(), 1, body.size(), file);
+      std::fclose(file);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
+  }
   return holds ? 0 : 1;
 }

@@ -2,7 +2,7 @@
 //
 //   ./fleet_scale [--smoke] [--sessions N] [--arrivals poisson|diurnal|flash-crowd]
 //                 [--rate R] [--threads T] [--shards S] [--contention]
-//                 [--json PATH]
+//                 [--json PATH] [--trace-out PATH] [--metrics-out PATH]
 //
 // Part 1 microbenchmarks one ABR decision's worth of TTP inference three
 // ways — scalar forward_one per (step, rung), per-decision fused GEMMs, and
@@ -22,6 +22,13 @@
 //
 // --smoke shrinks everything to seconds and exits non-zero on any mismatch,
 // which is what CI runs (with --shards 2 to keep the sharded path covered).
+//
+// --trace-out writes the Part-2 fleet run as Chrome trace-event JSON
+// (chrome://tracing / Perfetto): virtual-time lanes per shard plus a
+// concurrency counter lane (both byte-identical across repeat runs), and
+// wall-clock lanes per worker from the profiling scopes (not deterministic
+// by nature). --metrics-out dumps the run's combined sim-plane metric
+// snapshot as JSON.
 
 #include <algorithm>
 #include <chrono>
@@ -39,6 +46,9 @@
 #include "fugu/batch_ttp.hh"
 #include "fugu/fugu.hh"
 #include "fugu/ttp_predictor.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
+#include "obs/trace.hh"
 #include "util/require.hh"
 #include "util/thread_pool.hh"
 
@@ -49,6 +59,7 @@ namespace abr = puffer::abr;
 namespace exp = puffer::exp;
 namespace fugu = puffer::fugu;
 namespace media = puffer::media;
+namespace obs = puffer::obs;
 namespace sim = puffer::sim;
 
 double seconds_since(const std::chrono::steady_clock::time_point start) {
@@ -382,6 +393,8 @@ int main(int argc, char** argv) {
   double rate = 0.2;
   std::string arrivals = "poisson";
   std::string json_path = "BENCH_fleet.json";
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -404,11 +417,15 @@ int main(int argc, char** argv) {
       arrivals = next();
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scale [--smoke] [--sessions N] [--threads T] "
                    "[--shards S] [--rate R] [--arrivals KIND] [--contention] "
-                   "[--json PATH]\n");
+                   "[--json PATH] [--trace-out PATH] [--metrics-out PATH]\n");
       return 2;
     }
   }
@@ -438,6 +455,7 @@ int main(int argc, char** argv) {
   config.num_shards = shards;
   config.arrivals.kind = arrivals;
   config.arrivals.rate_per_s = rate;
+  obs::TraceWriter trace;
 
   std::printf("\n== fleet engine: %zu schemes x %d sessions, %s arrivals "
               "(rate %.3g/s, %d threads, %d shards requested) ==\n",
@@ -449,10 +467,58 @@ int main(int argc, char** argv) {
       exp::run_trial(config.trial, fleet_factory());
   const double sequential_s = seconds_since(start);
 
-  start = std::chrono::steady_clock::now();
-  const exp::FleetTrialResult fleet =
-      exp::run_fleet_trial(config, fleet_factory());
-  const double fleet_s = seconds_since(start);
+  // Warm up the allocator and caches with one untimed, unprofiled fleet
+  // run: the first fleet run of the process is consistently ~10-15% slower
+  // than a repeat (arena/malloc warmup), which would otherwise be charged
+  // to whichever timed run goes first and swamp the real gate overhead.
+  // The warmup run doubles as the virtual-time trace capture when
+  // --trace-out is set — the sim plane's lanes are byte-identical across
+  // runs (test-enforced), and keeping the trace sink out of the timed runs
+  // keeps its JSON-rendering cost out of the profiling-overhead ratio.
+  obs::set_prof_enabled(false);
+  exp::FleetTrialConfig warmup_config = config;
+  if (!trace_path.empty()) {
+    warmup_config.trace = &trace;
+  }
+  static_cast<void>(exp::run_fleet_trial(warmup_config, fleet_factory()));
+  obs::set_prof_enabled(true);
+
+  // Timed runs, alternating profiling on/off twice: single-core CI boxes
+  // show several percent of run-to-run wall variance, so the overhead
+  // ratio compares the best-of-two walls per mode rather than one sample
+  // each. The perf plane is reset before each profiled run (Part 1 and
+  // the sequential baseline also hit the profiled scopes), so the
+  // per-phase wall times reported below describe exactly one fleet run.
+  // With PUFFER_PROFILING=OFF both modes are no-ops and the ratio
+  // sits at ~1.
+  exp::FleetTrialResult fleet;
+  obs::ProfSnapshot prof;
+  double fleet_s = 0.0;
+  double fleet_off_s = 0.0;
+  for (int rep = 0; rep < 2; rep++) {
+    obs::prof_reset();
+    start = std::chrono::steady_clock::now();
+    exp::FleetTrialResult on_run =
+        exp::run_fleet_trial(config, fleet_factory());
+    const double on_s = seconds_since(start);
+    prof = obs::prof_snapshot();
+    if (rep == 0) {
+      fleet = std::move(on_run);
+      fleet_s = on_s;
+    } else {
+      fleet_s = std::min(fleet_s, on_s);
+    }
+
+    obs::set_prof_enabled(false);
+    start = std::chrono::steady_clock::now();
+    const exp::FleetTrialResult off_run =
+        exp::run_fleet_trial(config, fleet_factory());
+    const double off_s = seconds_since(start);
+    obs::set_prof_enabled(true);
+    fleet_off_s = rep == 0 ? off_s : std::min(fleet_off_s, off_s);
+    puffer::require(off_run.fleet.decisions == fleet.fleet.decisions,
+            "fleet_scale: profiling gate changed the simulation");
+  }
 
   bool figures_identical = true;
   for (size_t s = 0; s < sequential.schemes.size(); s++) {
@@ -475,10 +541,17 @@ int main(int argc, char** argv) {
       static_cast<double>(fleet.fleet.sessions) / fleet_s;
   const double chunks_per_s =
       static_cast<double>(fleet.fleet.decisions) / fleet_s;
+  const double off_chunks_per_s =
+      static_cast<double>(fleet.fleet.decisions) / fleet_off_s;
+  const double overhead_ratio =
+      chunks_per_s > 0.0 ? off_chunks_per_s / chunks_per_s : 0.0;
   std::printf("  sequential baseline : %8.2f s\n", sequential_s);
   std::printf("  fleet run           : %8.2f s  (%.0f sessions/s, "
               "%.0f chunks/s wall)\n",
               fleet_s, sessions_per_s, chunks_per_s);
+  std::printf("  profiling overhead  : %8.2f s unprofiled  (%.0f chunks/s; "
+              "off/on ratio %.4f)\n",
+              fleet_off_s, off_chunks_per_s, overhead_ratio);
   std::printf("  figure-identical    : %s\n",
               figures_identical ? "yes" : "NO — MISMATCH");
   std::printf("  virtual duration    : %8.0f s\n",
@@ -495,6 +568,67 @@ int main(int argc, char** argv) {
               static_cast<long long>(fleet.fleet.inline_decisions));
   std::printf("  shards / workers    : %8d / %d\n", fleet.fleet.num_shards,
               fleet.fleet.num_workers);
+
+  // Per-shard event counts from the deterministic registry (sim plane).
+  std::vector<int64_t> shard_arrival_counts, shard_decision_counts,
+      shard_gemm_counts, shard_row_counts;
+  for (const obs::MetricSnapshot& shard : fleet.fleet.shard_metrics) {
+    const auto value = [&shard](const std::string& name) -> int64_t {
+      const obs::MetricSnapshot::Metric* metric = shard.find(name);
+      return metric != nullptr ? metric->value : 0;
+    };
+    shard_arrival_counts.push_back(value("fleet.arrivals"));
+    shard_decision_counts.push_back(value("fleet.decisions"));
+    shard_gemm_counts.push_back(value("fleet.gemm_calls"));
+    shard_row_counts.push_back(value("fleet.coalesced_rows"));
+  }
+  std::printf("  per-shard decisions :");
+  for (const int64_t n : shard_decision_counts) {
+    std::printf(" %lld", static_cast<long long>(n));
+  }
+  std::printf("\n");
+
+  // Per-phase wall time from the profiling scopes (perf plane; empty when
+  // PUFFER_PROFILING=OFF).
+  const std::vector<obs::ProfScopeStats> merged_scopes = prof.merged();
+  const std::vector<std::string> phase_scopes = {
+      "fleet.shard", "fleet.admit", "fleet.coalesce",
+      "fleet.finish", "fleet.record", "nn.gemm", "nn.gemm.pack"};
+  for (const std::string& name : phase_scopes) {
+    const obs::ProfScopeStats* scope =
+        obs::ProfSnapshot::find(merged_scopes, name);
+    if (scope != nullptr) {
+      std::printf("  wall %-15s: %10.1f ms over %lld scopes\n", name.c_str(),
+                  static_cast<double>(scope->total_ns) / 1e6,
+                  static_cast<long long>(scope->count));
+    }
+  }
+
+  // Two-plane trace export, assembled before the curve runs below so the
+  // wall lanes cover exactly the fleet run: the engine already appended its
+  // virtual-time shard lanes during run(); add the deterministic
+  // concurrency counter lane, then the perf plane's wall lanes.
+  if (!trace_path.empty()) {
+    for (const auto& point : fleet.fleet.load.export_points()) {
+      trace.counter(obs::kSimTracePid, "concurrency", point.time_s * 1e6,
+                    point.level);
+    }
+    obs::prof_export_trace(trace);
+    trace.write_file(trace_path);
+    std::printf("  wrote %s (%zu trace events)\n", trace_path.c_str(),
+                trace.event_count());
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* file = std::fopen(metrics_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
+    } else {
+      const std::string body = fleet.metrics.to_json();
+      std::fwrite(body.data(), 1, body.size(), file);
+      std::fclose(file);
+      std::printf("  wrote %s\n", metrics_path.c_str());
+    }
+  }
 
   // Part 3: sessions-scale concurrency curve on the synthetic engine sweep,
   // each point audited sharded-vs-single-queue.
@@ -568,6 +702,24 @@ int main(int argc, char** argv) {
   json.field("fleet_shards", fleet.fleet.num_shards);
   json.field("fleet_workers", fleet.fleet.num_workers);
   json.field("hardware_threads", puffer::ThreadPool::hardware_threads());
+  json.field("shard_arrivals", shard_arrival_counts);
+  json.field("shard_decisions", shard_decision_counts);
+  json.field("shard_gemm_calls", shard_gemm_counts);
+  json.field("shard_coalesced_rows", shard_row_counts);
+  for (const std::string& name : phase_scopes) {
+    const obs::ProfScopeStats* scope =
+        obs::ProfSnapshot::find(merged_scopes, name);
+    if (scope != nullptr) {
+      json.field("wall_ms." + name,
+                 static_cast<double>(scope->total_ns) / 1e6, 2);
+      json.field("wall_count." + name, scope->count);
+    }
+  }
+  json.field("profiling_compiled", obs::kProfilingCompiled);
+  json.field("profiling_on_chunks_per_s", chunks_per_s, 0);
+  json.field("profiling_off_chunks_per_s", off_chunks_per_s, 0);
+  json.field("profiling_overhead_ratio", overhead_ratio, 4);
+  puffer::bench::metrics_fields(json, fleet.metrics);
   std::vector<int64_t> curve_chunk_rates, curve_peaks;
   std::vector<double> curve_means, curve_walls;
   for (const CurvePoint& point : curve) {

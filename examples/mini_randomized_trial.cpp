@@ -5,31 +5,63 @@
 // SSIM, SSIM variation, and mean time on site.
 //
 // Usage: mini_randomized_trial [scenario-family [trace-file]]
+//                              [--trace-out PATH] [--metrics-out PATH]
 //   scenario-family  any family registered in net::scenario_registry()
 //                    (default "puffer"); pass "list" to enumerate them
 //   trace-file       Mahimahi-style trace, for the "trace-replay" family
 //
+// The sessions run through the fleet engine (bit-identical to the
+// session-sequential loop), so the trial comes with observability for free:
+// --trace-out writes the run as Chrome trace-event JSON (virtual-time shard
+// lanes + wall-clock worker lanes), --metrics-out dumps the sim-plane
+// metric snapshot.
+//
 // The full-size experiment lives in bench/fig01_primary_table.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "exp/fleet_trial.hh"
 #include "exp/models.hh"
 #include "exp/trial.hh"
 #include "net/scenario.hh"
+#include "obs/prof.hh"
+#include "obs/trace.hh"
 #include "stats/summary.hh"
+#include "util/require.hh"
 #include "util/table.hh"
 
 int main(int argc, char** argv) {
   using namespace puffer;
 
-  exp::TrialConfig config;
+  std::string trace_path, metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      require(i + 1 < argc,
+              "mini_randomized_trial: missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  exp::FleetTrialConfig fleet_config;
+  exp::TrialConfig& config = fleet_config.trial;
   config.sessions_per_scheme = 120;  // miniature; the bench uses many more
   config.seed = 20190119;
-  if (argc > 1) {
-    config.scenario.family = argv[1];
+  if (!positional.empty()) {
+    config.scenario.family = positional[0];
   }
-  if (argc > 2) {
-    config.scenario.trace_path = argv[2];
+  if (positional.size() > 1) {
+    config.scenario.trace_path = positional[1];
   }
 
   const auto& registry = net::scenario_registry();
@@ -59,7 +91,13 @@ int main(int argc, char** argv) {
               "'%s' paths...\n\n",
               config.schemes.size(), config.sessions_per_scheme,
               config.scenario.family.c_str());
-  const exp::TrialResult trial = exp::run_trial(config, artifacts);
+  obs::TraceWriter trace_writer;
+  if (!trace_path.empty()) {
+    fleet_config.trace = &trace_writer;
+  }
+  obs::prof_reset();  // scope the wall lanes to the trial itself
+  exp::FleetTrialResult fleet = exp::run_fleet_trial(fleet_config, artifacts);
+  const exp::TrialResult& trial = fleet.trial;
 
   Rng rng{1};
   Table table{{"Algorithm", "Time stalled", "Mean SSIM", "SSIM variation",
@@ -90,5 +128,29 @@ int main(int argc, char** argv) {
   std::printf(
       "Mind the confidence intervals: with this little data most schemes are\n"
       "statistically indistinguishable — the paper's central warning (§3.4).\n");
+
+  if (!trace_path.empty()) {
+    // The engine's virtual-time lanes are already in the writer; add the
+    // deterministic concurrency counter lane, then the wall-clock lanes.
+    for (const auto& point : fleet.fleet.load.export_points()) {
+      trace_writer.counter(obs::kSimTracePid, "concurrency",
+                           point.time_s * 1e6, point.level);
+    }
+    obs::prof_export_trace(trace_writer);
+    trace_writer.write_file(trace_path);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                trace_writer.event_count());
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* file = std::fopen(metrics_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
+    } else {
+      const std::string body = fleet.metrics.to_json();
+      std::fwrite(body.data(), 1, body.size(), file);
+      std::fclose(file);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
+  }
   return 0;
 }

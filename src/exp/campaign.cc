@@ -14,6 +14,8 @@
 
 #include "exp/insitu.hh"
 #include "exp/registry.hh"
+#include "obs/prof.hh"
+#include "obs/trace.hh"
 #include "util/binary_io.hh"
 #include "util/require.hh"
 
@@ -292,6 +294,13 @@ std::string campaign_report_json(const std::vector<DayStats>& days) {
 // --- Campaign --------------------------------------------------------------
 
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
+  days_run_metric_ = metrics_.counter("campaign.days_run");
+  telemetry_streams_metric_ = metrics_.counter("campaign.telemetry_streams");
+  telemetry_chunks_metric_ = metrics_.counter("campaign.telemetry_chunks");
+  eval_sessions_metric_ = metrics_.counter("campaign.eval_sessions");
+  retrains_metric_ = metrics_.counter("campaign.retrains");
+  checkpoint_writes_metric_ = metrics_.counter("campaign.checkpoint_writes");
+
   require(!config_.arms.empty(), "Campaign: need at least one arm");
   require(!config_.phases.empty(), "Campaign: need at least one phase");
   for (const auto& phase : config_.phases) {
@@ -421,6 +430,7 @@ bool Campaign::try_restore_checkpoint() {
 }
 
 void Campaign::save_checkpoint() const {
+  const obs::ProfScope checkpoint_scope{"campaign.checkpoint"};
   const std::string final_path = checkpoint_path();
   const std::string tmp_path = final_path + ".tmp";
   {
@@ -475,6 +485,7 @@ void Campaign::write_reports() const {
 }
 
 void Campaign::run_one_day(const int day) {
+  const obs::ProfScope day_scope{"campaign.day"};
   const net::ScenarioSpec& scenario = config_.scenario_for_day(day);
   DayStats stats;
   stats.day = day;
@@ -490,6 +501,10 @@ void Campaign::run_one_day(const int day) {
   for (const auto& stream : daily) {
     stats.telemetry_chunks += stream.chunks.size();
   }
+  metrics_.add(telemetry_streams_metric_,
+               static_cast<int64_t>(stats.telemetry_streams));
+  metrics_.add(telemetry_chunks_metric_,
+               static_cast<int64_t>(stats.telemetry_chunks));
   for (auto& stream : daily) {
     telemetry_.add_stream(std::move(stream));
   }
@@ -531,6 +546,7 @@ void Campaign::run_one_day(const int day) {
     arm_stats.scheme = arm.scheme;
     arm_stats.sessions = result.consort.sessions;
     arm_stats.considered = result.consort.considered;
+    metrics_.add(eval_sessions_metric_, result.consort.sessions);
     double watch_s = 0.0, stall_s = 0.0, ssim_weighted = 0.0, startup_s = 0.0;
     for (const auto& figures : result.considered) {
       watch_s += figures.watch_time_s;
@@ -574,6 +590,7 @@ void Campaign::run_one_day(const int day) {
     const fugu::TtpModel* warm = arm.warm_start ? deployed_[i].get() : nullptr;
     deployed_[i] = std::make_shared<const fugu::TtpModel>(
         fugu::train_ttp(arm.ttp, window, day, arm.train, train_rng, warm));
+    metrics_.add(retrains_metric_);
   }
 
   // Keep the in-memory dataset (and therefore the checkpoint) bounded by
@@ -581,9 +598,36 @@ void Campaign::run_one_day(const int day) {
   telemetry_.prune_before(day + 2 - max_window_days_);
 
   days_.push_back(std::move(stats));
+  metrics_.add(days_run_metric_);
   if (!config_.checkpoint_dir.empty()) {
     save_checkpoint();
+    metrics_.add(checkpoint_writes_metric_);
     write_reports();
+  }
+}
+
+void Campaign::export_trace(obs::TraceWriter& trace) const {
+  constexpr double kDayUs = 86400.0 * 1e6;  // virtual day on the sim lane
+  trace.process_name(obs::kSimTracePid, "virtual time (sim)");
+  trace.thread_name(obs::kSimTracePid, 0, "campaign days");
+  for (const DayStats& day : days_) {
+    const double start_us = static_cast<double>(day.day) * kDayUs;
+    obs::TraceArgs args;
+    args.add("scenario", day.scenario);
+    args.add("telemetry_streams", static_cast<int64_t>(day.telemetry_streams));
+    args.add("telemetry_chunks", static_cast<int64_t>(day.telemetry_chunks));
+    trace.complete(obs::kSimTracePid, 0, "campaign.day", start_us, kDayUs,
+                   args.str());
+    for (const ArmDayStats& arm : day.arms) {
+      if (!arm.has_model) {
+        continue;
+      }
+      // The nightly retrain deploys at the end of the day.
+      obs::TraceArgs retrain_args;
+      retrain_args.add("arm", arm.arm);
+      trace.instant(obs::kSimTracePid, 0, "retrain", start_us + kDayUs,
+                    retrain_args.str());
+    }
   }
 }
 

@@ -9,6 +9,11 @@
 #include "exp/trial.hh"
 #include "fugu/dataset.hh"
 #include "fugu/ttp_trainer.hh"
+#include "obs/metrics.hh"
+
+namespace puffer::obs {
+class TraceWriter;
+}  // namespace puffer::obs
 
 namespace puffer::exp {
 
@@ -154,6 +159,20 @@ class Campaign {
   [[nodiscard]] const fugu::TtpModel* deployed_model(
       const std::string& arm_name) const;
 
+  /// Sim-plane counters of the work this object performed (days run,
+  /// telemetry volume, retrains, checkpoint writes). Deterministic for a
+  /// given sequence of run() calls; checkpoint-restored days contribute
+  /// nothing (they were not run here).
+  [[nodiscard]] obs::MetricSnapshot metrics() const {
+    return metrics_.snapshot();
+  }
+
+  /// Emit the completed days as virtual-time spans on the sim lane
+  /// (ts = day * 86400 s): one "campaign.day" span per day with its
+  /// scenario and telemetry volume, plus an instant per nightly retrain.
+  /// Deterministic: derived from days_ alone.
+  void export_trace(obs::TraceWriter& trace) const;
+
  private:
   void initialize_from_checkpoint_dir();
   void run_one_day(int day);
@@ -165,6 +184,13 @@ class Campaign {
   CampaignConfig config_;
   int max_window_days_ = 1;  ///< widest training window over retrain arms
   int restored_days_ = 0;
+  obs::MetricRegistry metrics_;
+  obs::MetricRegistry::Id days_run_metric_ = 0;
+  obs::MetricRegistry::Id telemetry_streams_metric_ = 0;
+  obs::MetricRegistry::Id telemetry_chunks_metric_ = 0;
+  obs::MetricRegistry::Id eval_sessions_metric_ = 0;
+  obs::MetricRegistry::Id retrains_metric_ = 0;
+  obs::MetricRegistry::Id checkpoint_writes_metric_ = 0;
   fugu::DataAggregator telemetry_;
   /// Deployed model per arm, config.arms order; null for model-free arms.
   /// Immutable between nightly retrains, so trials alias it instead of

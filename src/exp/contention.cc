@@ -369,4 +369,20 @@ double ContentionGroupTask::shared_delivered_bytes() const {
   return total;
 }
 
+double ContentionGroupTask::shared_offered_bytes() const {
+  double total = 0.0;
+  for (int flow = 0; flow < link_->num_flows(); flow++) {
+    total += link_->offered_total(flow);
+  }
+  return total;
+}
+
+double ContentionGroupTask::shared_lost_bytes() const {
+  double total = 0.0;
+  for (int flow = 0; flow < link_->num_flows(); flow++) {
+    total += link_->lost_total(flow);
+  }
+  return total;
+}
+
 }  // namespace puffer::exp

@@ -102,6 +102,11 @@ class ContentionGroupTask final : public sim::FleetTask {
   /// Bytes the shared link delivered across all members — exposed for the
   /// induced-stall/bench accounting.
   [[nodiscard]] double shared_delivered_bytes() const;
+  /// Bytes all members offered to the shared link, and bytes its queue
+  /// dropped — with delivered, the link's exact conservation triple,
+  /// surfaced per group for the sim-plane contention metrics.
+  [[nodiscard]] double shared_offered_bytes() const;
+  [[nodiscard]] double shared_lost_bytes() const;
 
  private:
   enum class Phase {

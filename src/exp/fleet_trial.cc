@@ -1,6 +1,7 @@
 #include "exp/fleet_trial.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -19,13 +20,64 @@ namespace puffer::exp {
 namespace {
 
 /// Session tasks churn at fleet scale (one per arrival, up to 10^6 per
-/// run), but every task is allocated and freed on the worker that owns its
-/// shard, so a thread-confined arena turns that churn into free-list
-/// recycling: heap traffic is bounded by the shard's peak concurrency.
-BlockArena& task_arena() {
-  thread_local BlockArena arena;
+/// run), so allocation is routed through a BlockArena that turns that churn
+/// into free-list recycling: heap traffic is bounded by peak concurrency.
+/// The arena is per *shard* (not per worker thread): a worker drains one
+/// shard at a time and every task is allocated and freed while its shard is
+/// being driven, so shard ownership still makes the arena single-threaded —
+/// and unlike a per-worker arena, its created/recycled counts no longer
+/// depend on which shards the pool happened to co-locate on a worker, which
+/// is what lets the arena metrics join the sim-plane determinism contract.
+/// The factory installs the owning shard's arena here before constructing
+/// each task.
+BlockArena*& current_task_arena() {
+  thread_local BlockArena* arena = nullptr;
   return arena;
 }
+
+/// Trial-layer sim-plane metrics, one set per shard (identical schema →
+/// positional merge in ascending shard order, like the engine's).
+struct TrialMetrics {
+  obs::MetricRegistry registry;
+  obs::MetricRegistry::Id tasks_created;
+  obs::MetricRegistry::Id algo_pool_hits;
+  obs::MetricRegistry::Id algo_pool_misses;
+  obs::MetricRegistry::Id plan_cache_hits;
+  obs::MetricRegistry::Id plan_cache_misses;
+  obs::MetricRegistry::Id arena_blocks_created;
+  obs::MetricRegistry::Id arena_recycled_tasks;
+  obs::MetricRegistry::Id contention_groups;
+  obs::MetricRegistry::Id contention_offered_bytes;
+  obs::MetricRegistry::Id contention_delivered_bytes;
+  obs::MetricRegistry::Id contention_lost_bytes;
+  obs::MetricRegistry::Id contention_fairness;
+
+  TrialMetrics() {
+    const obs::MetricOptions local{.shard_local = true};
+    tasks_created = registry.counter("trial.tasks_created");
+    // Pool/arena reuse depends on how the shard partition groups sessions,
+    // exactly like the engine's batching counters.
+    algo_pool_hits = registry.counter("trial.algo_pool_hits", local);
+    algo_pool_misses = registry.counter("trial.algo_pool_misses", local);
+    // Paired plans are colocated by shard_group, so cache behavior is a
+    // per-plan property: 1 miss + (schemes-1) hits at any shard count.
+    plan_cache_hits = registry.counter("trial.plan_cache_hits");
+    plan_cache_misses = registry.counter("trial.plan_cache_misses");
+    arena_blocks_created = registry.counter("trial.arena_blocks_created",
+                                            local);
+    arena_recycled_tasks = registry.counter("trial.arena_recycled_tasks",
+                                            local);
+    // Per-group byte totals and fairness are properties of the groups
+    // themselves — sums and multisets are partition-invariant.
+    contention_groups = registry.counter("contention.groups");
+    contention_offered_bytes = registry.counter("contention.offered_bytes");
+    contention_delivered_bytes =
+        registry.counter("contention.delivered_bytes");
+    contention_lost_bytes = registry.counter("contention.lost_bytes");
+    contention_fairness = registry.histogram(
+        "contention.fairness", {0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0});
+  }
+};
 
 /// A SessionTask plus algorithm-instance pooling: sessions overlap in fleet
 /// time, so each active session needs its own algorithm instance; returning
@@ -35,12 +87,16 @@ BlockArena& task_arena() {
 /// sequential loop's reuse, so pooling cannot change results.)
 class PooledSessionTask final : public sim::FleetTask {
  public:
-  // Route the per-arrival task churn through the shard worker's arena.
+  // Route the per-arrival task churn through the owning shard's arena (the
+  // factory installs it; tasks are freed while their shard is still being
+  // driven, so the same arena is installed at delete time).
   static void* operator new(const std::size_t size) {
-    return task_arena().allocate(size);
+    require(current_task_arena() != nullptr,
+            "PooledSessionTask: no shard arena installed");
+    return current_task_arena()->allocate(size);
   }
   static void operator delete(void* const ptr, const std::size_t size) {
-    task_arena().deallocate(ptr, size);
+    current_task_arena()->deallocate(ptr, size);
   }
 
   PooledSessionTask(std::shared_ptr<const SessionPlan> plan,
@@ -84,14 +140,28 @@ class PooledContentionTask final : public sim::FleetTask {
       const ContentionSpec& spec, net::NetworkPath shared_sample,
       const TrialConfig& config,
       std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>>& pools,
-      std::vector<size_t> member_schemes, double* const fairness_slot)
+      std::vector<size_t> member_schemes, double* const fairness_slot,
+      TrialMetrics* const metrics)
       : pools_(pools),
         member_schemes_(std::move(member_schemes)),
         fairness_slot_(fairness_slot),
+        metrics_(metrics),
         task_(std::move(members), spec, std::move(shared_sample), config) {}
 
   ~PooledContentionTask() override {
-    *fairness_slot_ = task_.fairness_index();
+    const double fairness = task_.fairness_index();
+    *fairness_slot_ = fairness;
+    // The destructor runs on the owning shard's worker, so the shard's
+    // metric registry is exclusively ours here.
+    obs::MetricRegistry& reg = metrics_->registry;
+    reg.add(metrics_->contention_groups);
+    reg.add(metrics_->contention_offered_bytes,
+            std::llround(task_.shared_offered_bytes()));
+    reg.add(metrics_->contention_delivered_bytes,
+            std::llround(task_.shared_delivered_bytes()));
+    reg.add(metrics_->contention_lost_bytes,
+            std::llround(task_.shared_lost_bytes()));
+    reg.observe(metrics_->contention_fairness, fairness);
     for (size_t i = 0; i < member_schemes_.size(); i++) {
       auto algo = task_.take_algorithm(i);
       if (algo != nullptr) {
@@ -118,6 +188,7 @@ class PooledContentionTask final : public sim::FleetTask {
   std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>>& pools_;
   std::vector<size_t> member_schemes_;
   double* fairness_slot_;
+  TrialMetrics* metrics_;
   ContentionGroupTask task_;
 };
 
@@ -129,6 +200,8 @@ struct ShardState {
   std::vector<std::vector<std::unique_ptr<abr::AbrAlgorithm>>> pools;
   int64_t cached_plan_index = -1;
   std::shared_ptr<const SessionPlan> cached_plan;
+  BlockArena arena;  ///< PooledSessionTask storage; see current_task_arena()
+  TrialMetrics metrics;
 };
 
 /// Streaming ascending-order merge: shards complete sessions out of global
@@ -138,9 +211,14 @@ struct ShardState {
 /// first incomplete one, so unmerged partials are bounded by the frontier
 /// lag (≈ peak concurrency), not the session count.
 struct MergeFrontier {
-  Mutex mutex GUARDS(completed, next_to_merge);
+  Mutex mutex GUARDS(completed, next_to_merge, unmerged, unmerged_high_water);
   std::vector<char> completed GUARDED_BY(mutex);
   int64_t next_to_merge GUARDED_BY(mutex) = 0;
+  /// Completed-but-unmerged partials right now / at the worst moment. The
+  /// high-water depends on which shard raced ahead — it is the run's one
+  /// scheduling-dependent metric, exported as such.
+  int64_t unmerged GUARDED_BY(mutex) = 0;
+  int64_t unmerged_high_water GUARDED_BY(mutex) = 0;
 };
 
 }  // namespace
@@ -223,6 +301,7 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
   engine_config.coalesce_inference = config.coalesce_inference;
   engine_config.max_coalesced_sessions = config.max_coalesced_sessions;
   engine_config.coalesce_window_s = config.coalesce_window_s;
+  engine_config.trace = config.trace;
   const sim::FleetEngine engine{engine_config};
   const int num_shards = engine.resolved_num_shards();
 
@@ -263,6 +342,9 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
         shard.cached_plan = std::make_shared<const SessionPlan>(
             make_session_plan(session_rng, users, *paths));
         shard.cached_plan_index = plan_index;
+        shard.metrics.registry.add(shard.metrics.plan_cache_misses);
+      } else {
+        shard.metrics.registry.add(shard.metrics.plan_cache_hits);
       }
       plan = shard.cached_plan;
       scheme = static_cast<size_t>(task_index % num_schemes);
@@ -281,15 +363,28 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     if (!pool.empty()) {
       algo = std::move(pool.back());
       pool.pop_back();
+      shard.metrics.registry.add(shard.metrics.algo_pool_hits);
     } else {
       algo = factory(trial_config.schemes[scheme]);
       require(algo != nullptr, "run_fleet_trial: factory returned null for '" +
                                    trial_config.schemes[scheme] + "'");
+      shard.metrics.registry.add(shard.metrics.algo_pool_misses);
     }
     auto& partial = partials[static_cast<size_t>(task_index)];
     partial = std::make_unique<SchemeResult>();
-    return std::make_unique<PooledSessionTask>(
+    shard.metrics.registry.add(shard.metrics.tasks_created);
+    current_task_arena() = &shard.arena;
+    const int64_t blocks_before = shard.arena.blocks_created();
+    auto task = std::make_unique<PooledSessionTask>(
         std::move(plan), std::move(algo), trial_config, *partial, pool);
+    const int64_t blocks_after = shard.arena.blocks_created();
+    if (blocks_after > blocks_before) {
+      shard.metrics.registry.add(shard.metrics.arena_blocks_created,
+                                 blocks_after - blocks_before);
+    } else {
+      shard.metrics.registry.add(shard.metrics.arena_recycled_tasks);
+    }
+    return task;
   };
 
   // Contention factory: builds group `group_index` from its member plans.
@@ -320,11 +415,13 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
       if (!pool.empty()) {
         algo = std::move(pool.back());
         pool.pop_back();
+        shard.metrics.registry.add(shard.metrics.algo_pool_hits);
       } else {
         algo = factory(trial_config.schemes[scheme]);
         require(algo != nullptr,
                 "run_fleet_trial: factory returned null for '" +
                     trial_config.schemes[scheme] + "'");
+        shard.metrics.registry.add(shard.metrics.algo_pool_misses);
       }
       auto& partial = partials[static_cast<size_t>(p)];
       partial = std::make_unique<SchemeResult>();
@@ -344,10 +441,12 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     Rng link_rng = master.split("contention-link")
                        .split(static_cast<uint64_t>(group_index));
     net::NetworkPath shared_sample = paths->sample_path(link_rng, max_trace_s);
+    shard.metrics.registry.add(shard.metrics.tasks_created);
     return std::make_unique<PooledContentionTask>(
         std::move(members), contention, std::move(shared_sample), trial_config,
         shard.pools, std::move(member_schemes),
-        &result.group_fairness[static_cast<size_t>(group_index)]);
+        &result.group_fairness[static_cast<size_t>(group_index)],
+        &shard.metrics);
   };
 
   MergeFrontier frontier;
@@ -364,9 +463,13 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
       for (int64_t p = begin; p < end; p++) {
         frontier.completed[static_cast<size_t>(p)] = 1;
       }
+      frontier.unmerged += end - begin;
     } else {
       frontier.completed[static_cast<size_t>(task_index)] = 1;
+      frontier.unmerged++;
     }
+    frontier.unmerged_high_water =
+        std::max(frontier.unmerged_high_water, frontier.unmerged);
     while (frontier.next_to_merge < num_tasks &&
            frontier.completed[static_cast<size_t>(frontier.next_to_merge)] !=
                0) {
@@ -375,6 +478,7 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
                                    *partials[t]);
       partials[t].reset();  // frees the partial at the frontier
       frontier.next_to_merge++;
+      frontier.unmerged--;
     }
   };
 
@@ -383,11 +487,29 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
       grouped ? sim::FleetEngine::TaskFactory{contention_factory}
               : sim::FleetEngine::TaskFactory{task_factory},
       on_complete);
+  int64_t frontier_high_water = 0;
   {
     const MutexLock lock{frontier.mutex};
     require(frontier.next_to_merge == num_tasks,
             "run_fleet_trial: merge frontier did not drain");
+    frontier_high_water = frontier.unmerged_high_water;
   }
+
+  // Combined sim-plane snapshot: engine block, then trial block (per-shard
+  // registries merged in ascending shard order — same discipline as the
+  // engine's own merge), then the run-level block.
+  result.metrics = result.fleet.metrics;
+  obs::MetricSnapshot trial_merged;
+  for (const ShardState& shard : shards) {
+    trial_merged.merge_from(shard.metrics.registry.snapshot());
+  }
+  result.metrics.append_from(trial_merged);
+  obs::MetricRegistry run_registry;
+  const auto frontier_gauge =
+      run_registry.gauge("trial.merge_frontier_high_water",
+                         {.scheduling_dependent = true});
+  run_registry.set(frontier_gauge, frontier_high_water);
+  result.metrics.append_from(run_registry.snapshot());
   return result;
 }
 

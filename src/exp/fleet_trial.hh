@@ -43,6 +43,9 @@ struct FleetTrialConfig {
   /// fleet task, so the bitwise shard/thread-invariance contract holds
   /// unchanged; requires an unpaired (RCT) trial.
   ContentionSpec contention;
+  /// Optional virtual-time trace sink, forwarded to the engine (see
+  /// sim::FleetConfig::trace). Does not perturb results.
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct FleetTrialResult {
@@ -51,6 +54,11 @@ struct FleetTrialResult {
   /// With contention.group_size > 1: Jain fairness of delivered bytes per
   /// contention group, indexed by group. Empty otherwise.
   std::vector<double> group_fairness;
+  /// Combined sim-plane snapshot: the engine's merged metrics, then the
+  /// trial layer's (task pooling, arenas, contention bytes/fairness), then
+  /// run-level gauges (merge-frontier high-water — the one
+  /// scheduling-dependent entry, excluded from determinism comparisons).
+  obs::MetricSnapshot metrics;
 };
 
 FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,

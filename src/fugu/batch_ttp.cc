@@ -55,6 +55,8 @@ void TtpInferenceBatch::run() {
     }
     total_rows_ += static_cast<int64_t>(group.rows_used);
     total_forwards_++;
+    max_forward_rows_ =
+        std::max(max_forward_rows_, static_cast<int64_t>(group.rows_used));
   }
   rows_pending_ = 0;
 }

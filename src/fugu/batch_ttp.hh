@@ -57,6 +57,9 @@ class TtpInferenceBatch {
   /// Cumulative counters (survive clear()) for bench/fleet statistics.
   [[nodiscard]] int64_t total_rows() const { return total_rows_; }
   [[nodiscard]] int64_t total_forward_calls() const { return total_forwards_; }
+  /// Largest row count any single forward pass ran with (survives clear());
+  /// how full the coalescing actually got, reported per fleet shard.
+  [[nodiscard]] int64_t max_forward_rows() const { return max_forward_rows_; }
 
  private:
   struct Group {
@@ -77,6 +80,7 @@ class TtpInferenceBatch {
   int64_t rows_pending_ = 0;
   int64_t total_rows_ = 0;
   int64_t total_forwards_ = 0;
+  int64_t max_forward_rows_ = 0;
 };
 
 /// Drop-in replacement for TtpPredictor whose per-decision queries run as

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/prof.hh"
 #include "util/require.hh"
 
 namespace puffer::nn {
@@ -82,6 +83,7 @@ std::string gemm_active_path() {
 }
 
 void PackedMatrix::pack_from(const Matrix& b) {
+  const obs::ProfScope pack_scope{"nn.gemm.pack"};
   k_ = b.rows();
   n_ = b.cols();
   data_.assign(num_panels() * k_ * kPanelWidth, 0.0f);
@@ -95,6 +97,7 @@ void PackedMatrix::pack_from(const Matrix& b) {
 }
 
 void PackedMatrix::pack_from_transposed(const Matrix& bt) {
+  const obs::ProfScope pack_scope{"nn.gemm.pack"};
   k_ = bt.cols();
   n_ = bt.rows();
   data_.assign(num_panels() * k_ * kPanelWidth, 0.0f);
@@ -117,6 +120,7 @@ void gemm(const float* a, const size_t lda, const size_t m,
     require(bias.size() == n, "gemm: bias length mismatch");
   }
   out.resize_no_zero(m, n);
+  const obs::ProfScope kernel_scope{"nn.gemm"};
   const detail::KernelTable& kernels = active_kernels();
   const bool relu = epilogue == Epilogue::kBiasRelu;
   // Panels outermost so one packed panel stays hot in L1 across every row

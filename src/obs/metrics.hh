@@ -1,0 +1,131 @@
+#ifndef PUFFER_OBS_METRICS_HH
+#define PUFFER_OBS_METRICS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace puffer::obs {
+
+/// Plane-1 (sim-plane) metrics: counters, gauges and fixed-bucket
+/// histograms keyed by *registration order* — never hash order — so two
+/// registries built by the same registration code have byte-identical
+/// schemas and their snapshots compare and merge positionally. All state is
+/// integral except the histogram observation extremes, and those are
+/// order- and partition-invariant (min/max of a multiset), so a snapshot is
+/// a deterministic function of the observation *multiset*: merging
+/// per-shard snapshots in ascending shard order reproduces the single-shard
+/// snapshot bit for bit, exactly like FleetRunStats. Deliberately absent: a
+/// floating-point sum (its value would depend on accumulation order across
+/// shard partitions) and any wall-clock anything — wall time lives in the
+/// perf plane (obs/prof.hh), which is excluded from bitwise audits.
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind);
+
+/// A registry's state at one instant: plain data, comparable and mergeable.
+struct MetricSnapshot {
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /// The value legitimately depends on shard-local batch membership
+    /// (like FleetRunStats' batching counters): compared only between runs
+    /// with equal shard counts, excluded by deterministic_view(false).
+    bool shard_local = false;
+    /// The value depends on wall-clock scheduling (e.g. how far a merge
+    /// frontier lags behind racing shards): excluded from every
+    /// determinism comparison by deterministic_view().
+    bool scheduling_dependent = false;
+
+    int64_t value = 0;       ///< counter total / gauge current value
+    int64_t high_water = 0;  ///< gauge: maximum value ever set
+
+    // Histogram state. buckets has bounds.size() + 1 entries; entry i
+    // counts observations <= bounds[i], the last entry is the overflow.
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    bool operator==(const Metric&) const = default;
+  };
+
+  std::vector<Metric> metrics;  ///< registration order
+
+  /// Element-wise merge of a same-schema snapshot (counters and histogram
+  /// buckets sum; gauges take the max — a merged gauge is a high-water
+  /// across shards). Merging an empty snapshot into this is a no-op;
+  /// merging into an empty snapshot adopts `other`. Any other schema
+  /// mismatch throws: it means two shards ran different registration code.
+  void merge_from(const MetricSnapshot& other);
+
+  /// Concatenate a *different* schema after this one (e.g. trial-layer
+  /// metrics after engine metrics); registration order is preserved within
+  /// each block.
+  void append_from(const MetricSnapshot& other);
+
+  /// The subset that participates in determinism comparisons:
+  /// scheduling-dependent metrics are always dropped; shard-local ones are
+  /// kept only when comparing runs with equal shard counts.
+  [[nodiscard]] MetricSnapshot deterministic_view(
+      bool include_shard_local = true) const;
+
+  /// Linear lookup by name; nullptr when absent. For tests and reporting —
+  /// hot paths hold MetricRegistry::Id handles instead.
+  [[nodiscard]] const Metric* find(std::string_view name) const;
+
+  /// Render as a JSON document ({"metrics": [...]}) for --metrics-out.
+  /// Non-finite extremes (an empty histogram's ±inf) render as null.
+  [[nodiscard]] std::string to_json() const;
+
+  bool operator==(const MetricSnapshot&) const = default;
+};
+
+/// Registration flags (nested-class default arguments trip over NSDMI
+/// rules, so this lives at namespace scope).
+struct MetricOptions {
+  bool shard_local = false;
+  bool scheduling_dependent = false;
+};
+
+/// The mutable accumulator behind a snapshot. Not synchronized: each fleet
+/// shard owns one registry exclusively (like its FleetRunStats slot) and
+/// the caller merges snapshots after the join. Metric handles are
+/// registration-order indices, so the hot path is an array index — no
+/// string hashing, no map walk.
+class MetricRegistry {
+ public:
+  using Id = size_t;
+  using Options = MetricOptions;
+
+  Id counter(std::string name, Options options = {});
+  Id gauge(std::string name, Options options = {});
+  /// `bucket_bounds` are ascending upper bounds; observations above the
+  /// last bound land in an implicit overflow bucket.
+  Id histogram(std::string name, std::vector<double> bucket_bounds,
+               Options options = {});
+
+  /// Counter: add `delta` (>= 0).
+  void add(Id id, int64_t delta = 1);
+  /// Gauge: set the current value (high-water tracked automatically).
+  void set(Id id, int64_t value);
+  /// Gauge: raise to `value` if larger (peak tracking).
+  void set_max(Id id, int64_t value);
+  /// Histogram: record one observation.
+  void observe(Id id, double value);
+
+  [[nodiscard]] size_t size() const { return data_.metrics.size(); }
+  [[nodiscard]] MetricSnapshot snapshot() const { return data_; }
+
+ private:
+  Id register_metric(std::string name, MetricKind kind, Options options);
+
+  MetricSnapshot data_;
+};
+
+}  // namespace puffer::obs
+
+#endif  // PUFFER_OBS_METRICS_HH

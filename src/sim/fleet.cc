@@ -2,16 +2,70 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "fugu/batch_ttp.hh"
+#include "obs/prof.hh"
+#include "obs/trace.hh"
 #include "util/require.hh"
 #include "util/thread_pool.hh"
 
 namespace puffer::sim {
 
 namespace {
+
+/// The engine's per-shard sim-plane metrics. Every shard registers the
+/// identical schema (same code, same order), so per-shard snapshots merge
+/// positionally in ascending shard order. Counters whose value depends on
+/// shard-local batch membership are marked shard_local, mirroring the
+/// FleetConfig::num_shards contract for the batching counters.
+struct ShardMetrics {
+  obs::MetricRegistry registry;
+  obs::MetricRegistry::Id arrivals;
+  obs::MetricRegistry::Id sessions;
+  obs::MetricRegistry::Id decisions;
+  obs::MetricRegistry::Id completions;
+  obs::MetricRegistry::Id inline_decisions;
+  obs::MetricRegistry::Id coalesced_rows;
+  obs::MetricRegistry::Id gemm_calls;
+  obs::MetricRegistry::Id batches;
+  obs::MetricRegistry::Id batch_size;
+  obs::MetricRegistry::Id batch_rows;
+  obs::MetricRegistry::Id queue_depth;
+  obs::MetricRegistry::Id queue_depth_peak;
+  obs::MetricRegistry::Id ttp_rows;
+  obs::MetricRegistry::Id ttp_forwards;
+  obs::MetricRegistry::Id ttp_groups;
+  obs::MetricRegistry::Id ttp_max_forward_rows;
+
+  ShardMetrics() {
+    const obs::MetricOptions local{.shard_local = true};
+    arrivals = registry.counter("fleet.arrivals");
+    sessions = registry.counter("fleet.sessions");
+    decisions = registry.counter("fleet.decisions");
+    completions = registry.counter("fleet.completions");
+    inline_decisions = registry.counter("fleet.inline_decisions", local);
+    coalesced_rows = registry.counter("fleet.coalesced_rows", local);
+    gemm_calls = registry.counter("fleet.gemm_calls", local);
+    batches = registry.counter("fleet.batches", local);
+    batch_size = registry.histogram(
+        "fleet.batch_size", {1, 2, 4, 8, 16, 32, 64, 128}, local);
+    batch_rows = registry.histogram(
+        "fleet.batch_rows", {1, 8, 32, 128, 512, 2048, 8192}, local);
+    queue_depth = registry.histogram(
+        "fleet.queue_depth",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536},
+        local);
+    queue_depth_peak = registry.gauge("fleet.queue_depth_peak", local);
+    ttp_rows = registry.counter("fleet.ttp.rows", local);
+    ttp_forwards = registry.counter("fleet.ttp.forward_calls", local);
+    ttp_groups = registry.gauge("fleet.ttp.groups", local);
+    ttp_max_forward_rows =
+        registry.gauge("fleet.ttp.max_forward_rows", local);
+  }
+};
 
 /// A session parked at a decision, due on the shard's timeline at `time_s`.
 /// Ties break on the shard-local session slot; slots are assigned in
@@ -46,11 +100,18 @@ void run_shard(const FleetConfig& config,
                const FleetEngine::TaskFactory& factory,
                const FleetEngine::CompletionSink& on_complete, const int shard,
                const int phase_c_workers, ThreadPool* phase_c_pool,
-               FleetRunStats& stats) {
+               obs::TraceWriter* const trace, FleetRunStats& stats) {
+  const obs::ProfScope shard_scope{"fleet.shard"};
   std::vector<std::unique_ptr<FleetTask>> tasks(sessions.size());
   std::vector<double> arrival_time(sessions.size(), 0.0);
   EventQueue queue;
   size_t next_arrival = 0;
+
+  ShardMetrics m;
+  // Per-shard counter-lane names carry the shard index: Chrome counter
+  // tracks are keyed by (pid, name), so this is what keeps shards apart.
+  const std::string depth_series =
+      "queue_depth shard" + std::to_string(shard);
 
   fugu::TtpInferenceBatch shared_batch;
   std::vector<Event> batch;
@@ -62,6 +123,12 @@ void run_shard(const FleetConfig& config,
   const auto complete = [&](const size_t slot, const double end_time) {
     tasks[slot]->record_load(stats.load, arrival_time[slot], end_time);
     stats.virtual_duration_s = std::max(stats.virtual_duration_s, end_time);
+    m.registry.add(m.completions);
+    if (trace != nullptr) {
+      trace->instant(
+          obs::kSimTracePid, shard, "complete", end_time * 1e6,
+          obs::TraceArgs{}.add("session", sessions[slot]).str());
+    }
     tasks[slot].reset();
     if (on_complete) {
       on_complete(sessions[slot], shard);
@@ -86,6 +153,7 @@ void run_shard(const FleetConfig& config,
             queue.top().time_s) {
       // fall through to decision processing
     } else if (next_arrival < sessions.size()) {
+      const obs::ProfScope admit_scope{"fleet.admit"};
       const size_t slot = next_arrival;
       const int64_t id = sessions[slot];
       const double t = arrivals[static_cast<size_t>(id)];
@@ -95,6 +163,12 @@ void run_shard(const FleetConfig& config,
       arrival_time[slot] = t;
       stats.sessions += tasks[slot]->session_count();
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
+      m.registry.add(m.arrivals);
+      m.registry.add(m.sessions, tasks[slot]->session_count());
+      if (trace != nullptr) {
+        trace->instant(obs::kSimTracePid, shard, "arrive", t * 1e6,
+                       obs::TraceArgs{}.add("session", id).str());
+      }
       schedule_or_complete(slot);
       continue;
     }
@@ -102,6 +176,9 @@ void run_shard(const FleetConfig& config,
     // Gather a batch of near-simultaneous decisions. Tasks are independent,
     // so fusing any subset is sound; the cap and window only shape how much
     // is fused, never the per-session results.
+    const auto queue_depth = static_cast<int64_t>(queue.size());
+    m.registry.observe(m.queue_depth, static_cast<double>(queue_depth));
+    m.registry.set_max(m.queue_depth_peak, queue_depth);
     batch.clear();
     batch.push_back(queue.top());
     queue.pop();
@@ -112,12 +189,16 @@ void run_shard(const FleetConfig& config,
       batch.push_back(queue.top());
       queue.pop();
     }
+    m.registry.add(m.batches);
+    m.registry.observe(m.batch_size, static_cast<double>(batch.size()));
 
     // Phase A (serial): stage batchable decisions into the shared batch in
     // deterministic batch order.
     shared_batch.clear();
     staged.assign(batch.size(), 0);
+    int64_t batch_rows = 0;
     if (config.coalesce_inference) {
+      const obs::ProfScope coalesce_scope{"fleet.coalesce"};
       const int64_t rows_before = shared_batch.total_rows();
       const int64_t forwards_before = shared_batch.total_forward_calls();
       for (size_t i = 0; i < batch.size(); i++) {
@@ -131,8 +212,15 @@ void run_shard(const FleetConfig& config,
       if (shared_batch.rows_pending() > 0) {
         shared_batch.run();
       }
-      stats.coalesced_rows += shared_batch.total_rows() - rows_before;
+      batch_rows = shared_batch.total_rows() - rows_before;
+      stats.coalesced_rows += batch_rows;
       stats.gemm_calls += shared_batch.total_forward_calls() - forwards_before;
+      m.registry.add(m.coalesced_rows, batch_rows);
+      m.registry.add(m.gemm_calls,
+                     shared_batch.total_forward_calls() - forwards_before);
+      if (batch_rows > 0) {
+        m.registry.observe(m.batch_rows, static_cast<double>(batch_rows));
+      }
     }
 
     // Phase C: complete each decision and advance its session to the next
@@ -141,33 +229,42 @@ void run_shard(const FleetConfig& config,
     // pool in the single-shard configuration; serial on this shard's worker
     // otherwise (shards, not stripes, are the parallelism then).
     completed.assign(batch.size(), 0);
-    const auto process = [&](const size_t i) {
-      FleetTask& task = *tasks[static_cast<size_t>(batch[i].slot)];
-      task.finish_chunk();
-      completed[i] = task.prepare() == FleetTask::Step::kDone ? 1 : 0;
-    };
-    if (phase_c_pool != nullptr && batch.size() > 1) {
-      for (int w = 0; w < phase_c_workers; w++) {
-        phase_c_pool->submit([&, w] {
-          for (size_t i = static_cast<size_t>(w); i < batch.size();
-               i += static_cast<size_t>(phase_c_workers)) {
-            process(i);
-          }
-        });
-      }
-      phase_c_pool->wait();
-    } else {
-      for (size_t i = 0; i < batch.size(); i++) {
-        process(i);
+    {
+      const obs::ProfScope finish_scope{"fleet.finish"};
+      const auto process = [&](const size_t i) {
+        FleetTask& task = *tasks[static_cast<size_t>(batch[i].slot)];
+        task.finish_chunk();
+        completed[i] = task.prepare() == FleetTask::Step::kDone ? 1 : 0;
+      };
+      if (phase_c_pool != nullptr && batch.size() > 1) {
+        for (int w = 0; w < phase_c_workers; w++) {
+          phase_c_pool->submit([&, w] {
+            for (size_t i = static_cast<size_t>(w); i < batch.size();
+                 i += static_cast<size_t>(phase_c_workers)) {
+              process(i);
+            }
+          });
+        }
+        phase_c_pool->wait();
+      } else {
+        for (size_t i = 0; i < batch.size(); i++) {
+          process(i);
+        }
       }
     }
 
     // Phase D (serial, batch order): record bookkeeping and requeue.
+    const obs::ProfScope record_scope{"fleet.record"};
+    int64_t staged_count = 0;
     for (size_t i = 0; i < batch.size(); i++) {
       const auto slot = static_cast<size_t>(batch[i].slot);
       stats.decisions++;
+      m.registry.add(m.decisions);
       if (staged[i] == 0) {
         stats.inline_decisions++;
+        m.registry.add(m.inline_decisions);
+      } else {
+        staged_count++;
       }
       const double t = arrival_time[slot] + tasks[slot]->elapsed_s();
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
@@ -177,7 +274,29 @@ void run_shard(const FleetConfig& config,
         queue.push(Event{t, batch[i].slot});
       }
     }
+
+    if (trace != nullptr) {
+      // One span per decision batch on the shard's virtual-time lane, plus
+      // a queue-depth counter sample at the batch's start.
+      const double start_us = batch.front().time_s * 1e6;
+      const double dur_us = (batch.back().time_s - batch.front().time_s) * 1e6;
+      trace->complete(obs::kSimTracePid, shard, "batch", start_us, dur_us,
+                      obs::TraceArgs{}
+                          .add("size", static_cast<int64_t>(batch.size()))
+                          .add("staged", staged_count)
+                          .add("rows", batch_rows)
+                          .str());
+      trace->counter(obs::kSimTracePid, depth_series, start_us,
+                     static_cast<double>(queue_depth));
+    }
   }
+
+  // The shard's TTP batch-path totals (the shared batch lives shard-wide).
+  m.registry.add(m.ttp_rows, shared_batch.total_rows());
+  m.registry.add(m.ttp_forwards, shared_batch.total_forward_calls());
+  m.registry.set(m.ttp_groups, static_cast<int64_t>(shared_batch.num_groups()));
+  m.registry.set(m.ttp_max_forward_rows, shared_batch.max_forward_rows());
+  stats.metrics = m.registry.snapshot();
 }
 
 }  // namespace
@@ -226,12 +345,20 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
     if (workers > 1) {
       pool = std::make_unique<ThreadPool>(workers);
     }
+    obs::TraceWriter shard_trace;
     FleetRunStats stats;
     run_shard(config_, arrivals, all, factory, on_complete, /*shard=*/0,
-              workers, pool.get(), stats);
+              workers, pool.get(),
+              config_.trace != nullptr ? &shard_trace : nullptr, stats);
     stats.num_shards = 1;
     stats.num_workers = workers;
     stats.load.finalize();
+    stats.shard_metrics.push_back(stats.metrics);
+    if (config_.trace != nullptr) {
+      config_.trace->process_name(obs::kSimTracePid, "virtual time (sim)");
+      config_.trace->thread_name(obs::kSimTracePid, 0, "shard 0");
+      config_.trace->append_from(shard_trace);
+    }
     return stats;
   }
 
@@ -246,14 +373,21 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
         .push_back(static_cast<int64_t>(i));
   }
   std::vector<FleetRunStats> shard_stats(static_cast<size_t>(shards));
+  // Per-shard trace buffers: each shard appends privately (virtual-time
+  // order), the splice below replays them in ascending shard order — the
+  // merged virtual plane is independent of which shard finished first.
+  std::vector<obs::TraceWriter> shard_traces(
+      config_.trace != nullptr ? static_cast<size_t>(shards) : 0);
   {
     ThreadPool pool{std::min(workers, shards)};
     for (int s = 0; s < shards; s++) {
       pool.submit([this, s, arrivals, &members, &factory, &on_complete,
-                   &shard_stats] {
+                   &shard_stats, &shard_traces] {
         run_shard(config_, arrivals, members[static_cast<size_t>(s)], factory,
                   on_complete, s, /*phase_c_workers=*/1,
                   /*phase_c_pool=*/nullptr,
+                  shard_traces.empty() ? nullptr
+                                       : &shard_traces[static_cast<size_t>(s)],
                   shard_stats[static_cast<size_t>(s)]);
       });
     }
@@ -266,7 +400,7 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
   FleetRunStats stats;
   stats.num_shards = shards;
   stats.num_workers = std::min(workers, shards);
-  for (const FleetRunStats& shard : shard_stats) {
+  for (FleetRunStats& shard : shard_stats) {
     stats.sessions += shard.sessions;
     stats.decisions += shard.decisions;
     stats.coalesced_rows += shard.coalesced_rows;
@@ -275,8 +409,18 @@ FleetRunStats FleetEngine::run(const std::span<const double> arrivals,
     stats.virtual_duration_s =
         std::max(stats.virtual_duration_s, shard.virtual_duration_s);
     stats.load.merge_from(shard.load);
+    stats.metrics.merge_from(shard.metrics);
+    stats.shard_metrics.push_back(std::move(shard.metrics));
   }
   stats.load.finalize();
+  if (config_.trace != nullptr) {
+    config_.trace->process_name(obs::kSimTracePid, "virtual time (sim)");
+    for (int s = 0; s < shards; s++) {
+      config_.trace->thread_name(obs::kSimTracePid, s,
+                                 "shard " + std::to_string(s));
+      config_.trace->append_from(shard_traces[static_cast<size_t>(s)]);
+    }
+  }
   return stats;
 }
 

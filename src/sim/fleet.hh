@@ -5,12 +5,18 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
+#include "obs/metrics.hh"
 #include "stats/load_series.hh"
 
 namespace puffer::fugu {
 class TtpInferenceBatch;
 }  // namespace puffer::fugu
+
+namespace puffer::obs {
+class TraceWriter;
+}  // namespace puffer::obs
 
 namespace puffer::sim {
 
@@ -94,6 +100,14 @@ struct FleetConfig {
   /// Only decisions within this much virtual time of the earliest pending
   /// one are fused together (keeps "concurrently deciding" honest).
   double coalesce_window_s = 0.25;
+  /// Optional virtual-time trace sink. Each shard buffers its events
+  /// privately (arrivals, decision batches, queue-depth counters, all
+  /// stamped in virtual time) and run() splices the buffers into this
+  /// writer in ascending shard order after the join — the emitted
+  /// virtual-time lanes are therefore byte-identical across repeat runs
+  /// and any thread count. Tracing never touches simulation state, so
+  /// results are unchanged whether or not this is set.
+  obs::TraceWriter* trace = nullptr;
 };
 
 /// What a fleet run measured about itself.
@@ -107,6 +121,13 @@ struct FleetRunStats {
   int num_workers = 0;           ///< worker threads the run used
   double virtual_duration_s = 0.0;  ///< global time of the last event
   stats::LoadSeries load;  ///< concurrent sessions over virtual time
+  /// Sim-plane metric snapshots (obs::MetricRegistry): one per shard in
+  /// ascending shard order, plus their merge. Part of the determinism
+  /// contract: `metrics` is bit-identical at any thread count, and its
+  /// deterministic_view(false) — the non-shard-local subset — is
+  /// bit-identical at any shard count too.
+  obs::MetricSnapshot metrics;
+  std::vector<obs::MetricSnapshot> shard_metrics;
 };
 
 /// Discrete-event fleet scheduler: interleaves thousands of concurrent

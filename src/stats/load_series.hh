@@ -61,6 +61,14 @@ class LoadSeries {
   }
   [[nodiscard]] const std::vector<Point>& points() const;
 
+  /// points(), finalizing first if any deltas are pending — for exporters
+  /// (e.g. the trace counter lane) that should not care whether the series
+  /// they were handed was already folded.
+  [[nodiscard]] const std::vector<Point>& export_points() {
+    finalize();
+    return points();
+  }
+
   /// Maximum level ever held (0 for an empty series). O(1).
   [[nodiscard]] int peak() const;
   /// Level integrated over [first event, last event] divided by that span.

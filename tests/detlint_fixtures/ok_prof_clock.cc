@@ -1,0 +1,18 @@
+// detlint fixture: the perf plane's R1 pattern — a steady_clock read like
+// the one obs::ProfScope takes. The test lints this content under the real
+// tree's detlint.conf twice: named src/obs/prof.cc it must pass via the
+// allowlist entry, named anything else the same line must still be an R1
+// finding (the exemption is scoped to the perf plane, not to the pattern).
+// Never compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+int64_t prof_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

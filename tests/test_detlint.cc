@@ -140,6 +140,38 @@ TEST(Detlint, AllowlistedFilePassesWithConfig) {
             static_cast<int>(bare.findings.size()));
 }
 
+TEST(Detlint, ProfPlaneClockAllowlistIsScopedToProfFiles) {
+  // The perf plane (src/obs/prof.*) is the one src/ module allowed to read
+  // the wall clock, via entries in the real tree's detlint.conf. Lint the
+  // same steady_clock fixture content under that shipped config: named as
+  // the prof plane it passes through the allowlist, named as any other
+  // src/ file the identical line is still an R1 finding.
+  const std::string content = read_fixture("ok_prof_clock.cc");
+  const detlint::FileReport bare =
+      detlint::lint_file("src/obs/prof.cc", content, detlint::Config{});
+  ASSERT_FALSE(bare.findings.empty());
+  EXPECT_EQ(bare.findings.front().rule, "R1");
+
+  std::ifstream conf_in{std::string{PUFFER_DETLINT_FIXTURES_DIR} +
+                        "/../../tools/detlint/detlint.conf"};
+  ASSERT_TRUE(conf_in.is_open());
+  std::ostringstream conf_body;
+  conf_body << conf_in.rdbuf();
+  const detlint::Config config = detlint::parse_config(conf_body.str());
+
+  const detlint::FileReport allowed =
+      detlint::lint_file("src/obs/prof.cc", content, config);
+  EXPECT_TRUE(allowed.findings.empty())
+      << allowed.findings.front().str();
+  EXPECT_EQ(allowed.allowlisted, static_cast<int>(bare.findings.size()));
+  EXPECT_TRUE(config.allows("R1", "src/obs/prof.hh"));
+
+  const detlint::FileReport elsewhere =
+      detlint::lint_file("src/sim/fleet.cc", content, config);
+  ASSERT_FALSE(elsewhere.findings.empty());
+  EXPECT_EQ(elsewhere.findings.front().rule, "R1");
+}
+
 TEST(Detlint, DirectoryPrefixAllowlisting) {
   const detlint::Config config =
       detlint::parse_config("R1 bench/ wall-clock timing\n");

@@ -13,6 +13,8 @@
 #include "fugu/batch_ttp.hh"
 #include "fugu/fugu.hh"
 #include "fugu/ttp_predictor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/arrivals.hh"
 #include "sim/fleet.hh"
 #include "stats/load_series.hh"
@@ -769,6 +771,68 @@ TEST(FleetTrial, ContentionRejectsPairedMode) {
   config.trial.paired_paths = true;
   EXPECT_THROW(static_cast<void>(exp::run_fleet_trial(config, fleet_factory())),
                RequirementError);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: sim-plane metric snapshots and virtual-time traces
+// ---------------------------------------------------------------------------
+
+/// The sim-plane metric snapshot is part of the bitwise determinism
+/// surface. At a fixed shard count the full snapshot — shard-local metrics
+/// included, since the partition itself is fixed — must be identical at
+/// any worker-thread count (1/2/4), per-shard snapshots too. Across shard
+/// counts (1/2/4/8) the partition-invariant view still matches bit for
+/// bit.
+TEST(FleetTrial, MetricSnapshotsBitIdenticalAcrossShardAndThreadMatrix) {
+  exp::FleetTrialConfig config = fleet_config();
+
+  obs::MetricSnapshot invariant_baseline;
+  for (const int shards : {1, 2, 4, 8}) {
+    config.num_shards = shards;
+    config.trial.num_threads = 1;
+    const exp::FleetTrialResult baseline =
+        exp::run_fleet_trial(config, fleet_factory());
+    ASSERT_EQ(baseline.fleet.shard_metrics.size(),
+              static_cast<size_t>(shards));
+    // Spot-check that the snapshot actually carries the engine and trial
+    // planes before comparing: an empty-vs-empty EQ would prove nothing.
+    ASSERT_NE(baseline.metrics.find("fleet.decisions"), nullptr);
+    ASSERT_NE(baseline.metrics.find("trial.plan_cache_misses"), nullptr);
+    if (shards == 1) {
+      invariant_baseline = baseline.metrics.deterministic_view(false);
+      ASSERT_FALSE(invariant_baseline.metrics.empty());
+    } else {
+      EXPECT_EQ(baseline.metrics.deterministic_view(false),
+                invariant_baseline);
+    }
+    for (const int threads : {2, 4}) {
+      config.trial.num_threads = threads;
+      const exp::FleetTrialResult run =
+          exp::run_fleet_trial(config, fleet_factory());
+      EXPECT_EQ(run.metrics.deterministic_view(true),
+                baseline.metrics.deterministic_view(true));
+      EXPECT_EQ(run.fleet.shard_metrics, baseline.fleet.shard_metrics);
+    }
+  }
+}
+
+/// The engine renders virtual-time trace events into per-shard buffers and
+/// splices them in ascending shard order after the join, so the trace JSON
+/// is byte-identical across repeat runs and across worker-thread counts.
+TEST(FleetTrial, VirtualTimeTraceByteIdenticalAcrossRepeatRuns) {
+  const auto traced_run = [](const int threads) {
+    exp::FleetTrialConfig config = fleet_config();
+    config.num_shards = 4;
+    config.trial.num_threads = threads;
+    obs::TraceWriter trace;
+    config.trace = &trace;
+    static_cast<void>(exp::run_fleet_trial(config, fleet_factory()));
+    return trace.str();
+  };
+  const std::string first = traced_run(1);
+  EXPECT_GT(first.size(), 1000u);
+  EXPECT_EQ(first, traced_run(1));
+  EXPECT_EQ(first, traced_run(4));
 }
 
 TEST(FleetTrial, EmptyTrialIsFine) {
