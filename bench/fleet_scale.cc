@@ -2,7 +2,8 @@
 //
 //   ./fleet_scale [--smoke] [--sessions N] [--arrivals poisson|diurnal|flash-crowd]
 //                 [--rate R] [--threads T] [--shards S] [--contention]
-//                 [--json PATH] [--trace-out PATH] [--metrics-out PATH]
+//                 [--faults] [--json PATH] [--trace-out PATH]
+//                 [--metrics-out PATH]
 //
 // Part 1 microbenchmarks one ABR decision's worth of TTP inference three
 // ways — scalar forward_one per (step, rung), per-decision fused GEMMs, and
@@ -19,6 +20,11 @@
 // --contention adds Part 4: a shared-bottleneck curve over group sizes
 // (per-group Jain fairness and the induced-stall ratio vs group size),
 // each point audited bitwise sharded-vs-single-queue.
+//
+// --faults adds Part 5: the same fleet population with the fault plane on
+// (injected TTP inference failures and session aborts), reporting
+// degraded-mode throughput and the harmonic-mean fallback rate, audited
+// bitwise 2-shard-vs-sequential including the faults.* counters.
 //
 // --smoke shrinks everything to seconds and exits non-zero on any mismatch,
 // which is what CI runs (with --shards 2 to keep the sharded path covered).
@@ -382,11 +388,112 @@ ContentionPoint run_contention_point(const int group_size, const int sessions,
   return point;
 }
 
+struct FaultsPoint {
+  double wall_s = 0.0;
+  double chunks_per_s = 0.0;      ///< degraded-mode throughput (faults on)
+  double fallback_rate = 0.0;     ///< fallback decisions / TTP decisions
+  int64_t ttp_decisions = 0;
+  int64_t ttp_failures = 0;
+  int64_t fallback_decisions = 0;
+  int64_t session_aborts = 0;
+  int64_t degraded_sessions = 0;
+  bool shard_identical = false;  ///< 2-shard == sequential, bitwise
+};
+
+int64_t metric_value(const obs::MetricSnapshot& snapshot,
+                     const std::string& name) {
+  const obs::MetricSnapshot::Metric* metric = snapshot.find(name);
+  return metric != nullptr ? metric->value : 0;
+}
+
+/// --faults: the Part-2 fleet population with the fault plane enabled (TTP
+/// inference failures driving harmonic-mean fallback, plus mid-stream
+/// aborts), run single-queue (timed) and with two shards. The audit demands
+/// bitwise-identical figures AND identical faults.* counters — the fault
+/// schedule must be invariant to sharding.
+FaultsPoint run_faults_point(const int sessions, const int threads) {
+  exp::FleetTrialConfig config;
+  config.trial.schemes = {"Fugu", "MPC-HM", "BBA"};
+  config.trial.sessions_per_scheme = sessions / 3;
+  config.trial.seed = 20190119;
+  config.trial.num_threads = threads;
+  config.trial.stream.max_stream_chunks = 60;
+  config.arrivals.kind = "poisson";
+  config.arrivals.rate_per_s = 0.2;
+  config.trial.faults.enabled = true;
+  config.trial.faults.seed = 7;
+  config.trial.faults.add(sim::kFaultTtpInference, 0.05);
+  config.trial.faults.add(sim::kFaultSessionAbort, 0.01);
+
+  static const auto model =
+      std::make_shared<fugu::TtpModel>(fugu::TtpConfig{}, 20190119);
+  exp::SchemeArtifacts artifacts;
+  artifacts.ttp_insitu = model;
+
+  config.num_shards = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const exp::FleetTrialResult base = exp::run_fleet_trial(config, artifacts);
+  const double wall_s = seconds_since(start);
+
+  config.num_shards = 2;
+  const exp::FleetTrialResult sharded = exp::run_fleet_trial(config, artifacts);
+
+  FaultsPoint point;
+  point.wall_s = wall_s;
+  point.chunks_per_s = static_cast<double>(base.fleet.decisions) / wall_s;
+  point.ttp_decisions = metric_value(base.metrics, "faults.ttp_decisions");
+  point.ttp_failures = metric_value(base.metrics, "faults.ttp_failures");
+  point.fallback_decisions =
+      metric_value(base.metrics, "faults.ttp_fallback_decisions");
+  point.session_aborts = metric_value(base.metrics, "faults.session_aborts");
+  point.degraded_sessions =
+      metric_value(base.metrics, "faults.degraded_sessions");
+  point.fallback_rate =
+      point.ttp_decisions > 0
+          ? static_cast<double>(point.fallback_decisions) /
+                static_cast<double>(point.ttp_decisions)
+          : 0.0;
+
+  point.shard_identical =
+      base.fleet.sessions == sharded.fleet.sessions &&
+      base.fleet.decisions == sharded.fleet.decisions;
+  for (const std::string& name :
+       {std::string{"faults.ttp_decisions"}, std::string{"faults.ttp_failures"},
+        std::string{"faults.ttp_fallback_decisions"},
+        std::string{"faults.ttp_engagements"},
+        std::string{"faults.degraded_sessions"},
+        std::string{"faults.session_aborts"}, std::string{"faults.injected"}}) {
+    if (metric_value(base.metrics, name) !=
+        metric_value(sharded.metrics, name)) {
+      point.shard_identical = false;
+    }
+  }
+  if (point.shard_identical) {
+    for (size_t s = 0; s < base.trial.schemes.size(); s++) {
+      const auto& a = base.trial.schemes[s];
+      const auto& b = sharded.trial.schemes[s];
+      if (a.considered.size() != b.considered.size() ||
+          a.consort.considered != b.consort.considered) {
+        point.shard_identical = false;
+        continue;
+      }
+      for (size_t i = 0; i < a.considered.size(); i++) {
+        if (std::memcmp(&a.considered[i], &b.considered[i],
+                        sizeof(a.considered[i])) != 0) {
+          point.shard_identical = false;
+        }
+      }
+    }
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool contention = false;
+  bool faults = false;
   int sessions = 200;
   int threads = 0;
   int shards = 0;
@@ -405,6 +512,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--contention") {
       contention = true;
+    } else if (arg == "--faults") {
+      faults = true;
     } else if (arg == "--sessions") {
       sessions = std::atoi(next().c_str());
     } else if (arg == "--threads") {
@@ -425,7 +534,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fleet_scale [--smoke] [--sessions N] [--threads T] "
                    "[--shards S] [--rate R] [--arrivals KIND] [--contention] "
-                   "[--json PATH] [--trace-out PATH] [--metrics-out PATH]\n");
+                   "[--faults] [--json PATH] [--trace-out PATH] "
+                   "[--metrics-out PATH]\n");
       return 2;
     }
   }
@@ -682,6 +792,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Part 5 (--faults): degraded-mode throughput with the fault plane on,
+  // audited bitwise 2-shard-vs-sequential (figures and faults.* counters).
+  FaultsPoint faults_point;
+  bool faults_identical = true;
+  if (faults) {
+    const int fault_sessions = smoke ? 24 : std::max(sessions, 48);
+    std::printf("\n== fault plane (ttp-inference=0.05, session-abort=0.01, "
+                "%d sessions, 2-shard audit) ==\n",
+                fault_sessions);
+    faults_point = run_faults_point(fault_sessions, threads);
+    faults_identical = faults_point.shard_identical;
+    std::printf("  degraded throughput : %10.0f chunks/s (%.2f s wall)\n",
+                faults_point.chunks_per_s, faults_point.wall_s);
+    std::printf("  ttp decisions       : %8lld  (%lld failures, %lld "
+                "fallback, rate %.4f)\n",
+                static_cast<long long>(faults_point.ttp_decisions),
+                static_cast<long long>(faults_point.ttp_failures),
+                static_cast<long long>(faults_point.fallback_decisions),
+                faults_point.fallback_rate);
+    std::printf("  session aborts      : %8lld  (%lld degraded sessions)\n",
+                static_cast<long long>(faults_point.session_aborts),
+                static_cast<long long>(faults_point.degraded_sessions));
+    std::printf("  shard-identical     : %s\n",
+                faults_point.shard_identical ? "yes" : "NO — MISMATCH");
+  }
+
   puffer::bench::JsonWriter json;
   json.field("bench", "fleet_scale");
   json.field("smoke", smoke);
@@ -754,10 +890,22 @@ int main(int argc, char** argv) {
     json.field("contention_induced_stall", contention_induced, 3);
     json.field("contention_shard_identical", contention_identical);
   }
+  if (faults) {
+    json.field("fleet_faults_chunks_per_s", faults_point.chunks_per_s, 1);
+    json.field("fleet_faults_fallback_rate", faults_point.fallback_rate, 4);
+    json.field("fleet_faults_ttp_decisions", faults_point.ttp_decisions);
+    json.field("fleet_faults_ttp_failures", faults_point.ttp_failures);
+    json.field("fleet_faults_fallback_decisions",
+               faults_point.fallback_decisions);
+    json.field("fleet_faults_session_aborts", faults_point.session_aborts);
+    json.field("fleet_faults_degraded_sessions",
+               faults_point.degraded_sessions);
+    json.field("fleet_faults_shard_identical", faults_identical);
+  }
   json.write_file(json_path);
 
   if (!inference.identical || !figures_identical || !curve_identical ||
-      !contention_identical) {
+      !contention_identical || !faults_identical) {
     std::fprintf(stderr, "fleet_scale: BITWISE AUDIT FAILED\n");
     return 1;
   }

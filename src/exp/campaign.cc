@@ -24,7 +24,9 @@ namespace puffer::exp {
 namespace {
 
 constexpr uint64_t kCampaignMagic = 0x50434d50;  // "PCMP"
-constexpr uint64_t kCampaignVersion = 1;
+// v2: day-level telemetry_lost/telemetry_duplicated/degraded and arm-level
+// retrain_crashes/retrain_backoff_s/degraded fault accounting.
+constexpr uint64_t kCampaignVersion = 2;
 
 // --- binary checkpoint primitives -----------------------------------------
 
@@ -59,6 +61,9 @@ void write_day_stats(std::ostream& out, const DayStats& day) {
   write_string(out, day.scenario);
   write_u64(out, day.telemetry_streams);
   write_u64(out, day.telemetry_chunks);
+  write_u64(out, day.telemetry_lost);
+  write_u64(out, day.telemetry_duplicated);
+  write_u64(out, day.degraded ? 1 : 0);
   write_u64(out, day.arms.size());
   for (const auto& arm : day.arms) {
     write_string(out, arm.arm);
@@ -72,6 +77,9 @@ void write_day_stats(std::ostream& out, const DayStats& day) {
     write_f64(out, arm.cross_entropy);
     write_f64(out, arm.top1_accuracy);
     write_u64(out, arm.holdout_examples);
+    write_u64(out, static_cast<uint64_t>(arm.retrain_crashes));
+    write_f64(out, arm.retrain_backoff_s);
+    write_u64(out, arm.degraded ? 1 : 0);
   }
 }
 
@@ -81,6 +89,9 @@ DayStats read_day_stats(std::istream& in) {
   day.scenario = read_string(in);
   day.telemetry_streams = read_u64(in);
   day.telemetry_chunks = read_u64(in);
+  day.telemetry_lost = read_u64(in);
+  day.telemetry_duplicated = read_u64(in);
+  day.degraded = read_u64(in) != 0;
   const uint64_t num_arms = read_u64(in);
   require(num_arms < (1u << 10), "campaign checkpoint: implausible arm count");
   day.arms.reserve(num_arms);
@@ -97,6 +108,9 @@ DayStats read_day_stats(std::istream& in) {
     arm.cross_entropy = read_f64(in);
     arm.top1_accuracy = read_f64(in);
     arm.holdout_examples = read_u64(in);
+    arm.retrain_crashes = static_cast<int64_t>(read_u64(in));
+    arm.retrain_backoff_s = read_f64(in);
+    arm.degraded = read_u64(in) != 0;
     day.arms.push_back(std::move(arm));
   }
   return day;
@@ -232,6 +246,19 @@ uint64_t CampaignConfig::fingerprint() const {
           << "," << arm.train.recency_decay << ","
           << arm.train.max_examples_per_step;
   }
+  // The fault plane joins the identity only when enabled, so every
+  // pre-existing zero-fault checkpoint keeps its fingerprint byte-for-byte.
+  if (faults.enabled) {
+    canon << ";faults=";
+    field(faults.fingerprint_key());
+    canon << ";resilience=" << resilience.retrain_retries << ","
+          << resilience.retrain_backoff_base_s << ","
+          << resilience.retrain_backoff_factor << ","
+          << resilience.retrain_backoff_max_s << ","
+          << resilience.checkpoint_retries << ","
+          << resilience.predictor.engage_after_failures << ","
+          << resilience.predictor.repromote_after_successes;
+  }
   return stable_hash(canon.str());
 }
 
@@ -240,7 +267,8 @@ uint64_t CampaignConfig::fingerprint() const {
 std::string campaign_report_csv(const std::vector<DayStats>& days) {
   std::string csv =
       "day,scenario,arm,scheme,sessions,considered,ssim_db,stall_ratio,"
-      "startup_s,has_model,cross_entropy,top1_accuracy,holdout_examples\n";
+      "startup_s,has_model,cross_entropy,top1_accuracy,holdout_examples,"
+      "degraded,retrain_crashes,retrain_backoff_s\n";
   for (const auto& day : days) {
     for (const auto& arm : day.arms) {
       csv += std::to_string(day.day) + "," + csv_field(day.scenario) + "," +
@@ -253,7 +281,10 @@ std::string campaign_report_csv(const std::vector<DayStats>& days) {
              (arm.has_model ? "1" : "0") + "," +
              format_double(arm.cross_entropy) + "," +
              format_double(arm.top1_accuracy) + "," +
-             std::to_string(arm.holdout_examples) + "\n";
+             std::to_string(arm.holdout_examples) + "," +
+             (arm.degraded ? "1" : "0") + "," +
+             std::to_string(arm.retrain_crashes) + "," +
+             format_double(arm.retrain_backoff_s) + "\n";
     }
   }
   return csv;
@@ -268,6 +299,10 @@ std::string campaign_report_json(const std::vector<DayStats>& days) {
             json_escape(day.scenario) +
             "\",\"telemetry_streams\":" + std::to_string(day.telemetry_streams) +
             ",\"telemetry_chunks\":" + std::to_string(day.telemetry_chunks) +
+            ",\"telemetry_lost\":" + std::to_string(day.telemetry_lost) +
+            ",\"telemetry_duplicated\":" +
+            std::to_string(day.telemetry_duplicated) +
+            ",\"degraded\":" + (day.degraded ? "true" : "false") +
             ",\"arms\":[";
     for (size_t a = 0; a < day.arms.size(); a++) {
       const ArmDayStats& arm = day.arms[a];
@@ -283,6 +318,9 @@ std::string campaign_report_json(const std::vector<DayStats>& days) {
               ",\"cross_entropy\":" + format_double(arm.cross_entropy) +
               ",\"top1_accuracy\":" + format_double(arm.top1_accuracy) +
               ",\"holdout_examples\":" + std::to_string(arm.holdout_examples) +
+              ",\"degraded\":" + (arm.degraded ? "true" : "false") +
+              ",\"retrain_crashes\":" + std::to_string(arm.retrain_crashes) +
+              ",\"retrain_backoff_s\":" + format_double(arm.retrain_backoff_s) +
               "}";
     }
     json += "]}";
@@ -300,7 +338,25 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {
   eval_sessions_metric_ = metrics_.counter("campaign.eval_sessions");
   retrains_metric_ = metrics_.counter("campaign.retrains");
   checkpoint_writes_metric_ = metrics_.counter("campaign.checkpoint_writes");
+  // Fault-plane accounting. Every fault draw is a pure function of
+  // (plan seed, family, day/arm/attempt keys), so these counters are
+  // deterministic for a given config at any thread count (class: plain).
+  faults_retrain_crashes_metric_ = metrics_.counter("faults.retrain_crashes");
+  faults_retrain_backoff_ms_metric_ =
+      metrics_.counter("faults.retrain_backoff_ms");
+  faults_telemetry_lost_metric_ = metrics_.counter("faults.telemetry_lost");
+  faults_telemetry_dup_metric_ =
+      metrics_.counter("faults.telemetry_duplicated");
+  faults_checkpoint_failures_metric_ =
+      metrics_.counter("faults.checkpoint_load_failures");
+  faults_fresh_starts_metric_ =
+      metrics_.counter("faults.checkpoint_fresh_starts");
+  faults_model_load_metric_ = metrics_.counter("faults.model_load_failures");
+  faults_degraded_days_metric_ = metrics_.counter("faults.degraded_days");
 
+  require(config_.resilience.retrain_retries >= 0 &&
+              config_.resilience.checkpoint_retries >= 0,
+          "Campaign: resilience retry budgets must be non-negative");
   require(!config_.arms.empty(), "Campaign: need at least one arm");
   require(!config_.phases.empty(), "Campaign: need at least one phase");
   for (const auto& phase : config_.phases) {
@@ -371,6 +427,24 @@ void Campaign::initialize_from_checkpoint_dir() {
     return;
   }
   std::filesystem::create_directories(config_.checkpoint_dir);
+  // Injected checkpoint-load failures (the file exists but the load "fails"):
+  // retry up to the policy budget, then degrade to a FLAGGED fresh start
+  // instead of aborting the campaign. Real corruption still throws below —
+  // only the injected fault family takes the degradation path.
+  if (config_.faults.probability(sim::kFaultCheckpointLoad) > 0.0 &&
+      std::filesystem::exists(checkpoint_path())) {
+    int attempt = 0;
+    while (config_.faults.draw(sim::kFaultCheckpointLoad,
+                               {static_cast<uint64_t>(attempt)})) {
+      metrics_.add(faults_checkpoint_failures_metric_);
+      attempt++;
+      if (attempt > config_.resilience.checkpoint_retries) {
+        fresh_start_degraded_ = true;
+        metrics_.add(faults_fresh_starts_metric_);
+        return;  // keep the cold day-0 models; the checkpoint stays on disk
+      }
+    }
+  }
   if (try_restore_checkpoint()) {
     restored_days_ = completed_days();
   }
@@ -423,6 +497,19 @@ bool Campaign::try_restore_checkpoint() {
     std::optional<fugu::TtpModel> model =
         try_load_ttp(config_.arms[static_cast<size_t>(index)].ttp, in);
     require(model.has_value(), "campaign checkpoint: model block corrupt");
+    if (config_.faults.draw(sim::kFaultModelLoad, {index})) {
+      // Injected model corruption: the bytes were consumed above so the
+      // stream stays aligned; degrade this arm to a fresh cold init (the
+      // same weights it deployed on day 0) instead of aborting.
+      metrics_.add(faults_model_load_metric_);
+      deployed_[static_cast<size_t>(index)] =
+          std::make_shared<const fugu::TtpModel>(
+              config_.arms[static_cast<size_t>(index)].ttp,
+              purpose_seed(config_.seed,
+                           "campaign/init/" +
+                               config_.arms[static_cast<size_t>(index)].name));
+      continue;
+    }
     deployed_[static_cast<size_t>(index)] =
         std::make_shared<const fugu::TtpModel>(std::move(*model));
   }
@@ -505,7 +592,24 @@ void Campaign::run_one_day(const int day) {
                static_cast<int64_t>(stats.telemetry_streams));
   metrics_.add(telemetry_chunks_metric_,
                static_cast<int64_t>(stats.telemetry_chunks));
-  for (auto& stream : daily) {
+  // Telemetry-plane faults on the way into the aggregator: a lost stream
+  // never reaches training; a duplicated one is ingested twice (double
+  // weight). Draws are keyed on (day, stream index) so a resumed campaign
+  // replays them exactly.
+  for (uint64_t j = 0; j < daily.size(); j++) {
+    auto& stream = daily[j];
+    if (config_.faults.draw(sim::kFaultTelemetryLoss,
+                            {static_cast<uint64_t>(day), j})) {
+      stats.telemetry_lost++;
+      metrics_.add(faults_telemetry_lost_metric_);
+      continue;
+    }
+    if (config_.faults.draw(sim::kFaultTelemetryDup,
+                            {static_cast<uint64_t>(day), j})) {
+      stats.telemetry_duplicated++;
+      metrics_.add(faults_telemetry_dup_metric_);
+      telemetry_.add_stream(fugu::StreamLog{stream});
+    }
     telemetry_.add_stream(std::move(stream));
   }
 
@@ -535,9 +639,13 @@ void Campaign::run_one_day(const int day) {
     trial_config.day = day;
     trial_config.num_threads = config_.num_threads;
     trial_config.stream = config_.stream;
+    // Forward the per-session fault families (TTP inference failures,
+    // session aborts) into the arm's day of sessions.
+    trial_config.faults = config_.faults;
 
     SchemeArtifacts artifacts;
     artifacts.ttp_insitu = deployed_[i];  // aliased, not copied: immutable
+    artifacts.resilience = config_.resilience.predictor;
     const TrialResult trial = run_trial(trial_config, artifacts);
     const SchemeResult& result = trial.schemes.front();
 
@@ -583,14 +691,50 @@ void Campaign::run_one_day(const int day) {
     }
     const fugu::TtpDataset window =
         telemetry_.window(day, arm.train.window_days);
-    Rng train_rng = Rng{config_.seed}
-                        .split("campaign/train")
-                        .split(static_cast<uint64_t>(i))
-                        .split(static_cast<uint64_t>(day));
+    const Rng train_base = Rng{config_.seed}
+                               .split("campaign/train")
+                               .split(static_cast<uint64_t>(i))
+                               .split(static_cast<uint64_t>(day));
     const fugu::TtpModel* warm = arm.warm_start ? deployed_[i].get() : nullptr;
-    deployed_[i] = std::make_shared<const fugu::TtpModel>(
-        fugu::train_ttp(arm.ttp, window, day, arm.train, train_rng, warm));
-    metrics_.add(retrains_metric_);
+    // Injected retrain crashes: retry with bounded virtual-time backoff, and
+    // on an exhausted budget keep serving yesterday's deployed model (the
+    // degraded path the paper's deployment would take). Attempt 0 draws from
+    // the unmodified train stream so zero-fault campaigns stay byte-identical
+    // to pre-fault builds; retries split a dedicated "retry" branch.
+    ArmDayStats& arm_stats = stats.arms[i];
+    bool trained = false;
+    const int max_attempts = 1 + config_.resilience.retrain_retries;
+    for (int attempt = 0; attempt < max_attempts; attempt++) {
+      if (config_.faults.draw(sim::kFaultRetrainCrash,
+                              {static_cast<uint64_t>(day),
+                               static_cast<uint64_t>(i),
+                               static_cast<uint64_t>(attempt)})) {
+        arm_stats.retrain_crashes++;
+        metrics_.add(faults_retrain_crashes_metric_);
+        const double backoff =
+            retrain_backoff_s(config_.resilience, attempt + 1);
+        arm_stats.retrain_backoff_s += backoff;
+        metrics_.add(faults_retrain_backoff_ms_metric_,
+                     static_cast<int64_t>(backoff * 1000.0));
+        continue;
+      }
+      Rng train_rng =
+          attempt == 0
+              ? train_base
+              : train_base.split("retry").split(static_cast<uint64_t>(attempt));
+      deployed_[i] = std::make_shared<const fugu::TtpModel>(
+          fugu::train_ttp(arm.ttp, window, day, arm.train, train_rng, warm));
+      metrics_.add(retrains_metric_);
+      trained = true;
+      break;
+    }
+    if (!trained) {
+      arm_stats.degraded = true;  // tomorrow serves today's model unchanged
+      stats.degraded = true;
+    }
+  }
+  if (stats.degraded) {
+    metrics_.add(faults_degraded_days_metric_);
   }
 
   // Keep the in-memory dataset (and therefore the checkpoint) bounded by
@@ -619,6 +763,16 @@ void Campaign::export_trace(obs::TraceWriter& trace) const {
     trace.complete(obs::kSimTracePid, 0, "campaign.day", start_us, kDayUs,
                    args.str());
     for (const ArmDayStats& arm : day.arms) {
+      if (arm.retrain_crashes > 0) {
+        // Injected retrain crashes happened during the night's train loop.
+        obs::TraceArgs fault_args;
+        fault_args.add("family", sim::kFaultRetrainCrash);
+        fault_args.add("arm", arm.arm);
+        fault_args.add("crashes", arm.retrain_crashes);
+        fault_args.add("degraded", static_cast<int64_t>(arm.degraded ? 1 : 0));
+        trace.instant(obs::kSimTracePid, 0, "fault", start_us + kDayUs,
+                      fault_args.str());
+      }
       if (!arm.has_model) {
         continue;
       }
@@ -650,6 +804,7 @@ CampaignResult Campaign::run(const int max_days) {
   }
   CampaignResult result;
   result.restored_days = restored_days_;
+  result.fresh_start_degraded = fresh_start_degraded_;
   result.days = days_;
   return result;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/resilience.hh"
 #include "exp/trial.hh"
 #include "fugu/dataset.hh"
 #include "fugu/ttp_trainer.hh"
@@ -69,6 +70,15 @@ struct CampaignConfig {
   /// stream.max_stream_chunks so one Pareto-tail viewer cannot dominate a
   /// day's compute.
   sim::StreamRunConfig stream;
+  /// Fault-injection plan (disabled by default): retrain crashes, telemetry
+  /// loss/duplication, checkpoint/model load failures, plus the per-session
+  /// families forwarded into every arm trial. Draws are keyed on
+  /// (day, arm, attempt, stream index), so a resumed campaign replays the
+  /// remaining days' faults exactly.
+  sim::FaultPlan faults;
+  /// Graceful-degradation responses to the injected faults (retry budgets,
+  /// virtual-time backoff, predictor hysteresis).
+  ResiliencePolicy resilience;
 
   [[nodiscard]] int total_days() const;
   [[nodiscard]] const net::ScenarioSpec& scenario_for_day(int day) const;
@@ -94,6 +104,12 @@ struct ArmDayStats {
   double cross_entropy = -1.0;
   double top1_accuracy = -1.0;
   uint64_t holdout_examples = 0;
+  /// Fault-plane accounting: injected retrain crashes this night, the
+  /// virtual-time backoff they cost, and whether the retrain ultimately
+  /// failed (degraded: the arm keeps serving yesterday's deployed model).
+  int64_t retrain_crashes = 0;
+  double retrain_backoff_s = 0.0;
+  bool degraded = false;
 
   friend bool operator==(const ArmDayStats&, const ArmDayStats&) = default;
 };
@@ -103,6 +119,11 @@ struct DayStats {
   std::string scenario;  ///< ScenarioSpec::key() of the day's phase
   uint64_t telemetry_streams = 0;
   uint64_t telemetry_chunks = 0;
+  /// Fault-plane accounting: telemetry streams lost / delivered twice on
+  /// their way into the aggregator, and whether any arm degraded today.
+  uint64_t telemetry_lost = 0;
+  uint64_t telemetry_duplicated = 0;
+  bool degraded = false;
   std::vector<ArmDayStats> arms;  ///< config.arms order
 
   friend bool operator==(const DayStats&, const DayStats&) = default;
@@ -115,6 +136,9 @@ struct CampaignResult {
   /// across run() calls on the same object are not counted — they were
   /// computed, not restored.
   int restored_days = 0;
+  /// Injected checkpoint-load failures exhausted their retry budget, so
+  /// the campaign degraded to a flagged fresh start instead of aborting.
+  bool fresh_start_degraded = false;
 };
 
 /// Per-day CSV (one row per arm-day) / JSON renderings of campaign history.
@@ -191,6 +215,15 @@ class Campaign {
   obs::MetricRegistry::Id eval_sessions_metric_ = 0;
   obs::MetricRegistry::Id retrains_metric_ = 0;
   obs::MetricRegistry::Id checkpoint_writes_metric_ = 0;
+  obs::MetricRegistry::Id faults_retrain_crashes_metric_ = 0;
+  obs::MetricRegistry::Id faults_retrain_backoff_ms_metric_ = 0;
+  obs::MetricRegistry::Id faults_telemetry_lost_metric_ = 0;
+  obs::MetricRegistry::Id faults_telemetry_dup_metric_ = 0;
+  obs::MetricRegistry::Id faults_checkpoint_failures_metric_ = 0;
+  obs::MetricRegistry::Id faults_fresh_starts_metric_ = 0;
+  obs::MetricRegistry::Id faults_model_load_metric_ = 0;
+  obs::MetricRegistry::Id faults_degraded_days_metric_ = 0;
+  bool fresh_start_degraded_ = false;
   fugu::DataAggregator telemetry_;
   /// Deployed model per arm, config.arms order; null for model-free arms.
   /// Immutable between nightly retrains, so trials alias it instead of

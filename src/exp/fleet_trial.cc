@@ -51,6 +51,14 @@ struct TrialMetrics {
   obs::MetricRegistry::Id contention_delivered_bytes;
   obs::MetricRegistry::Id contention_lost_bytes;
   obs::MetricRegistry::Id contention_fairness;
+  obs::MetricRegistry::Id faults_ttp_decisions;
+  obs::MetricRegistry::Id faults_ttp_failures;
+  obs::MetricRegistry::Id faults_ttp_fallback_decisions;
+  obs::MetricRegistry::Id faults_ttp_engagements;
+  obs::MetricRegistry::Id faults_degraded_sessions;
+  obs::MetricRegistry::Id faults_session_aborts;
+  obs::MetricRegistry::Id faults_link_outages;
+  obs::MetricRegistry::Id faults_max_session_fallbacks;
 
   TrialMetrics() {
     const obs::MetricOptions local{.shard_local = true};
@@ -76,6 +84,19 @@ struct TrialMetrics {
     contention_lost_bytes = registry.counter("contention.lost_bytes");
     contention_fairness = registry.histogram(
         "contention.fairness", {0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0});
+    // Fault-plane counters and degradation-state gauges. Every value is a
+    // pure per-session (or per-group) function of the fault plan's seed —
+    // partition-invariant sums and maxima, determinism class plain.
+    faults_ttp_decisions = registry.counter("faults.ttp_decisions");
+    faults_ttp_failures = registry.counter("faults.ttp_failures");
+    faults_ttp_fallback_decisions =
+        registry.counter("faults.ttp_fallback_decisions");
+    faults_ttp_engagements = registry.counter("faults.ttp_engagements");
+    faults_degraded_sessions = registry.counter("faults.degraded_sessions");
+    faults_session_aborts = registry.counter("faults.session_aborts");
+    faults_link_outages = registry.counter("faults.link_outages");
+    faults_max_session_fallbacks =
+        registry.gauge("faults.max_session_fallbacks");
   }
 };
 
@@ -102,13 +123,37 @@ class PooledSessionTask final : public sim::FleetTask {
   PooledSessionTask(std::shared_ptr<const SessionPlan> plan,
                     std::unique_ptr<abr::AbrAlgorithm> algo,
                     const TrialConfig& config, SchemeResult& result,
-                    std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool)
+                    std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool,
+                    TrialMetrics* const metrics)
       : plan_(std::move(plan)),
         algo_(std::move(algo)),
         pool_(pool),
+        metrics_(metrics),
         task_(*plan_, *algo_, config, result) {}
 
-  ~PooledSessionTask() override { pool_.push_back(std::move(algo_)); }
+  ~PooledSessionTask() override {
+    // Harvest the session's fault/degradation accounting before the
+    // algorithm instance (and its wrapper state) returns to the pool. The
+    // destructor runs on the owning shard's worker, so the shard registry
+    // is exclusively ours here.
+    if (metrics_ != nullptr) {
+      obs::MetricRegistry& reg = metrics_->registry;
+      if (const fugu::ResilientPredictor* res = task_.resilient()) {
+        const fugu::SessionFaultStats& s = res->session_stats();
+        reg.add(metrics_->faults_ttp_decisions, s.decisions);
+        reg.add(metrics_->faults_ttp_failures, s.failures);
+        reg.add(metrics_->faults_ttp_fallback_decisions, s.fallback_decisions);
+        reg.add(metrics_->faults_ttp_engagements, s.engagements);
+        if (s.degraded) {
+          reg.add(metrics_->faults_degraded_sessions);
+        }
+        reg.set_max(metrics_->faults_max_session_fallbacks,
+                    s.fallback_decisions);
+      }
+      reg.add(metrics_->faults_session_aborts, task_.aborted_streams());
+    }
+    pool_.push_back(std::move(algo_));
+  }
 
   Step prepare() override { return task_.prepare(); }
   bool stage(fugu::TtpInferenceBatch& batch) override {
@@ -116,6 +161,9 @@ class PooledSessionTask final : public sim::FleetTask {
   }
   void finish_chunk() override { task_.finish_chunk(); }
   [[nodiscard]] double elapsed_s() const override { return task_.elapsed_s(); }
+  void drain_fault_events(std::vector<FaultEvent>& out) override {
+    task_.drain_fault_events(out);
+  }
 
  private:
   // Keeps alive what the non-owning SessionTask points at. Paired-mode
@@ -125,6 +173,7 @@ class PooledSessionTask final : public sim::FleetTask {
   std::shared_ptr<const SessionPlan> plan_;
   std::unique_ptr<abr::AbrAlgorithm> algo_;
   std::vector<std::unique_ptr<abr::AbrAlgorithm>>& pool_;
+  TrialMetrics* metrics_;
   SessionTask task_;
 };
 
@@ -225,8 +274,14 @@ struct MergeFrontier {
 
 FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
                                  const SchemeArtifacts& artifacts) {
-  return run_fleet_trial(config, [&artifacts](const std::string& name) {
-    return make_scheme(name, artifacts);
+  // Wire an enabled fault plan into scheme assembly (resilient Fugu), as
+  // run_trial does — the two paths must build identical schemes.
+  SchemeArtifacts wired = artifacts;
+  if (config.trial.faults.enabled && wired.faults == nullptr) {
+    wired.faults = &config.trial.faults;
+  }
+  return run_fleet_trial(config, [wired](const std::string& name) {
+    return make_scheme(name, wired);
   });
 }
 
@@ -376,7 +431,8 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     current_task_arena() = &shard.arena;
     const int64_t blocks_before = shard.arena.blocks_created();
     auto task = std::make_unique<PooledSessionTask>(
-        std::move(plan), std::move(algo), trial_config, *partial, pool);
+        std::move(plan), std::move(algo), trial_config, *partial, pool,
+        &shard.metrics);
     const int64_t blocks_after = shard.arena.blocks_created();
     if (blocks_after > blocks_before) {
       shard.metrics.registry.add(shard.metrics.arena_blocks_created,
@@ -441,6 +497,38 @@ FleetTrialResult run_fleet_trial(const FleetTrialConfig& config,
     Rng link_rng = master.split("contention-link")
                        .split(static_cast<uint64_t>(group_index));
     net::NetworkPath shared_sample = paths->sample_path(link_rng, max_trace_s);
+    // Link-outage fault: the shared bottleneck goes dark for a drawn
+    // window. Keyed on the group index alone, so the outage schedule is a
+    // pure per-group function of the fault seed (shard/thread-invariant).
+    // The final trace segment is never zeroed: capacity_at() extends it to
+    // the end of time, and an everlasting outage would strand the group.
+    const double outage_p =
+        trial_config.faults.probability(sim::kFaultLinkOutage);
+    if (outage_p > 0.0) {
+      Rng outage_rng = trial_config.faults.rng(sim::kFaultLinkOutage)
+                           .split(static_cast<uint64_t>(group_index));
+      if (outage_rng.bernoulli(outage_p)) {
+        std::vector<double> rates = shared_sample.trace.rates();
+        const double seg_s = shared_sample.trace.segment_duration();
+        const double total_s =
+            static_cast<double>(rates.size() - 1) * seg_s;  // last seg exempt
+        double window_s = trial_config.faults.duration_s(sim::kFaultLinkOutage);
+        if (window_s <= 0.0) {
+          window_s = 30.0;
+        }
+        window_s = std::min(window_s, 0.25 * total_s);
+        const double start_s =
+            outage_rng.uniform(0.0, std::max(0.0, total_s - window_s));
+        for (size_t k = 0; k + 1 < rates.size(); k++) {
+          const double t_s = static_cast<double>(k) * seg_s;
+          if (t_s >= start_s && t_s < start_s + window_s) {
+            rates[k] = 0.0;
+          }
+        }
+        shared_sample.trace = net::ThroughputTrace{std::move(rates), seg_s};
+        shard.metrics.registry.add(shard.metrics.faults_link_outages);
+      }
+    }
     shard.metrics.registry.add(shard.metrics.tasks_created);
     return std::make_unique<PooledContentionTask>(
         std::move(members), contention, std::move(shared_sample), trial_config,

@@ -5,6 +5,7 @@
 #include "abr/pensieve.hh"
 #include "abr/throughput_predictors.hh"
 #include "fugu/fugu.hh"
+#include "fugu/resilient.hh"
 #include "util/require.hh"
 
 namespace puffer::exp {
@@ -45,20 +46,30 @@ std::unique_ptr<abr::AbrAlgorithm> make_scheme(const std::string& name,
             "make_scheme: Pensieve requires a trained actor");
     return std::make_unique<abr::PensieveAbr>(*artifacts.pensieve_actor, name);
   }
+  // Fugu variants: with an enabled fault plan on the artifacts, the TTP is
+  // wrapped in a ResilientPredictor (make_resilient_fugu degenerates to the
+  // byte-identical plain assembly when the plan is null or disabled).
+  const auto fugu_faults = [&artifacts]() -> sim::FaultPlan {
+    return artifacts.faults != nullptr ? *artifacts.faults : sim::FaultPlan{};
+  };
   if (name == "Fugu") {
     require(artifacts.ttp_insitu != nullptr,
             "make_scheme: Fugu requires an in-situ TTP");
-    return fugu::make_fugu(artifacts.ttp_insitu, name);
+    return fugu::make_resilient_fugu(artifacts.ttp_insitu, fugu_faults(),
+                                     artifacts.resilience, name);
   }
   if (name == "Emulation-trained Fugu") {
     require(artifacts.ttp_emulation != nullptr,
             "make_scheme: needs an emulation-trained TTP");
-    return fugu::make_fugu(artifacts.ttp_emulation, name);
+    return fugu::make_resilient_fugu(artifacts.ttp_emulation, fugu_faults(),
+                                     artifacts.resilience, name);
   }
   if (name == "Fugu-point-estimate") {
     require(artifacts.ttp_insitu != nullptr,
             "make_scheme: point-estimate Fugu requires an in-situ TTP");
-    return fugu::make_fugu(artifacts.ttp_insitu, name, /*point_estimate=*/true);
+    return fugu::make_resilient_fugu(artifacts.ttp_insitu, fugu_faults(),
+                                     artifacts.resilience, name,
+                                     /*point_estimate=*/true);
   }
   require(false, "make_scheme: unknown scheme '" + name + "'");
   return nullptr;  // unreachable

@@ -1,0 +1,18 @@
+#include "exp/resilience.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hh"
+
+namespace puffer::exp {
+
+double retrain_backoff_s(const ResiliencePolicy& policy, const int attempt) {
+  require(attempt >= 1, "retrain_backoff_s: attempt is 1-based");
+  const double backoff =
+      policy.retrain_backoff_base_s *
+      std::pow(policy.retrain_backoff_factor, static_cast<double>(attempt - 1));
+  return std::min(backoff, policy.retrain_backoff_max_s);
+}
+
+}  // namespace puffer::exp

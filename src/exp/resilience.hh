@@ -1,0 +1,35 @@
+#ifndef PUFFER_EXP_RESILIENCE_HH
+#define PUFFER_EXP_RESILIENCE_HH
+
+#include "fugu/resilient.hh"
+
+namespace puffer::exp {
+
+/// Campaign-layer graceful-degradation policy: how many times to retry each
+/// faulted operation, and how much (bounded, exponential) virtual-time
+/// backoff each retrain retry costs, before degrading instead of aborting.
+struct ResiliencePolicy {
+  /// Retry attempts after a crashed nightly retrain (total attempts =
+  /// 1 + retrain_retries). On exhaustion the arm keeps yesterday's
+  /// deployed model and the day is flagged degraded.
+  int retrain_retries = 2;
+  /// Virtual-time backoff before retry k is base * factor^(k-1), capped.
+  double retrain_backoff_base_s = 900.0;
+  double retrain_backoff_factor = 2.0;
+  double retrain_backoff_max_s = 7200.0;
+  /// Retry attempts after a failed checkpoint load; on exhaustion the
+  /// campaign degrades to a flagged fresh start instead of aborting.
+  int checkpoint_retries = 2;
+  /// Predictor-level hysteresis (see fugu::ResilientPredictor).
+  fugu::ResilienceConfig predictor;
+
+  bool operator==(const ResiliencePolicy&) const = default;
+};
+
+/// Backoff charged before retry `attempt` (1-based): bounded exponential.
+[[nodiscard]] double retrain_backoff_s(const ResiliencePolicy& policy,
+                                       int attempt);
+
+}  // namespace puffer::exp
+
+#endif  // PUFFER_EXP_RESILIENCE_HH

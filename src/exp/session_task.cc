@@ -41,6 +41,7 @@ SessionTask::SessionTask(const SessionPlan& plan, abr::AbrAlgorithm& algo,
       batch_predictor_ = batched;
       mpc_horizon_ = mpc->controller().config().horizon;
     }
+    resilient_ = dynamic_cast<fugu::ResilientPredictor*>(&mpc->predictor());
   }
 }
 
@@ -60,6 +61,15 @@ SessionTask::Step SessionTask::prepare() {
     }
     run_rng_ = Rng{plan_.run_seed};
     algo_.reset_session();
+    if (resilient_ != nullptr) {
+      resilient_->begin_session(plan_.run_seed);
+      seen_ttp_failures_ = 0;
+    }
+    abort_probability_ = config_.faults.probability(sim::kFaultSessionAbort);
+    if (abort_probability_ > 0.0) {
+      abort_rng_ = config_.faults.rng(sim::kFaultSessionAbort)
+                       .split(plan_.run_seed);
+    }
     sender_.emplace(*plan_.path, std::make_unique<net::BbrModel>(),
                     net::TcpSender::default_queue_capacity(*plan_.path));
     sim::send_preamble(*sender_);
@@ -101,10 +111,30 @@ bool SessionTask::stage(fugu::TtpInferenceBatch& batch) {
 void SessionTask::finish_chunk() {
   require(stream_.has_value(), "SessionTask: no decision pending");
   stream_->finish_chunk();
+  if (resilient_ != nullptr) {
+    const int64_t failures = resilient_->session_stats().failures;
+    for (; seen_ttp_failures_ < failures; seen_ttp_failures_++) {
+      pending_fault_events_.push_back(
+          FaultEvent{elapsed_s(), sim::kFaultTtpInference});
+    }
+  }
+  if (abort_rng_.has_value() && !stream_->done() &&
+      abort_rng_->bernoulli(abort_probability_)) {
+    stream_->abort_stream();
+    aborted_streams_ += 1;
+    pending_fault_events_.push_back(
+        FaultEvent{elapsed_s(), sim::kFaultSessionAbort});
+  }
 }
 
 double SessionTask::elapsed_s() const {
   return sender_.has_value() ? sender_->now() : 0.0;
+}
+
+void SessionTask::drain_fault_events(std::vector<FaultEvent>& out) {
+  out.insert(out.end(), pending_fault_events_.begin(),
+             pending_fault_events_.end());
+  pending_fault_events_.clear();
 }
 
 void SessionTask::finish_stream() {

@@ -7,6 +7,7 @@
 
 #include "exp/trial.hh"
 #include "fugu/batch_ttp.hh"
+#include "fugu/resilient.hh"
 #include "net/tcp_sender.hh"
 #include "sim/fleet.hh"
 #include "sim/session.hh"
@@ -61,6 +62,15 @@ class SessionTask final : public sim::FleetTask {
   bool stage(fugu::TtpInferenceBatch& batch) override;
   void finish_chunk() override;
   [[nodiscard]] double elapsed_s() const override;
+  void drain_fault_events(std::vector<FaultEvent>& out) override;
+
+  /// Streams the fault plane cut short via the user model this session.
+  [[nodiscard]] int64_t aborted_streams() const { return aborted_streams_; }
+  /// The resilient TTP wrapper, when this session's scheme carries one
+  /// (for faults.* metric harvesting); nullptr otherwise.
+  [[nodiscard]] fugu::ResilientPredictor* resilient() const {
+    return resilient_;
+  }
 
  private:
   void finish_stream();
@@ -71,9 +81,21 @@ class SessionTask final : public sim::FleetTask {
   SchemeResult& result_;
 
   // Set when the algorithm is an MpcAbr driven by a BatchTtpPredictor —
-  // the combination whose decisions the fleet engine can coalesce.
+  // the combination whose decisions the fleet engine can coalesce. A
+  // ResilientPredictor wrapper hides the batch predictor, so faulted Fugu
+  // decisions run inline (bit-identical to staged by construction).
   fugu::BatchTtpPredictor* batch_predictor_ = nullptr;
+  fugu::ResilientPredictor* resilient_ = nullptr;
   int mpc_horizon_ = 0;
+
+  // Session-abort fault stream: seeded from (fault seed, family, run seed)
+  // at session start and drawn once per decision — a pure per-session
+  // schedule, invariant to fleet interleaving.
+  std::optional<Rng> abort_rng_;
+  double abort_probability_ = 0.0;
+  int64_t aborted_streams_ = 0;
+  int64_t seen_ttp_failures_ = 0;
+  std::vector<FaultEvent> pending_fault_events_;
 
   Rng run_rng_{0};
   std::optional<net::TcpSender> sender_;

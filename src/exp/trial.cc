@@ -124,8 +124,14 @@ void append_scheme_result(SchemeResult& into, SchemeResult& from) {
 
 TrialResult run_trial(const TrialConfig& config,
                       const SchemeArtifacts& artifacts) {
-  return run_trial(config, [&artifacts](const std::string& name) {
-    return make_scheme(name, artifacts);
+  // Wire an enabled fault plan into scheme assembly (resilient Fugu). The
+  // copied artifacts keep the plan pointer valid for the factory's life.
+  SchemeArtifacts wired = artifacts;
+  if (config.faults.enabled && wired.faults == nullptr) {
+    wired.faults = &config.faults;
+  }
+  return run_trial(config, [wired](const std::string& name) {
+    return make_scheme(name, wired);
   });
 }
 

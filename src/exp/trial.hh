@@ -10,6 +10,7 @@
 #include "exp/registry.hh"
 #include "fugu/dataset.hh"
 #include "net/scenario.hh"
+#include "sim/faults.hh"
 #include "sim/session.hh"
 #include "stats/summary.hh"
 #include "util/rng.hh"
@@ -42,6 +43,11 @@ struct TrialConfig {
   /// resets per session), and partial results are merged in session-index
   /// order.
   int num_threads = 0;
+  /// Fault-injection plan (disabled by default — the zero-fault contract:
+  /// a disabled plan leaves every result byte identical to pre-fault
+  /// builds). Draws are keyed on per-session run seeds, so they are
+  /// invariant to thread and shard count.
+  sim::FaultPlan faults;
 };
 
 /// Figure A1-style accounting.

@@ -1,5 +1,6 @@
 #include "exp/trial_cache.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -79,6 +80,12 @@ uint64_t config_fingerprint(const TrialConfig& config) {
       << config.stream.max_buffer_s << '|' << config.stream.lookahead_chunks
       << '|' << config.stream.player_init_delay_s << '|'
       << config.stream.max_stream_chunks;
+  // The fault plane joins the key only when enabled: pre-existing zero-fault
+  // cache entries keep their filenames, and a faulted run can never be
+  // served a fault-free result (or vice versa).
+  if (config.faults.enabled) {
+    key << '|' << config.faults.fingerprint_key();
+  }
   return stable_hash(key.str());
 }
 
@@ -115,35 +122,53 @@ std::optional<TrialResult> try_load_trial(const std::string& path) {
   if (!in.is_open()) {
     return std::nullopt;
   }
-  if (read_u64(in) != kTrialMagic) {
-    return std::nullopt;
-  }
-  TrialResult trial;
-  const uint64_t num_schemes = read_u64(in);
-  for (uint64_t s = 0; s < num_schemes; s++) {
-    SchemeResult result;
-    result.scheme = read_string(in);
-    const uint64_t num_figures = read_u64(in);
-    result.considered.reserve(num_figures);
-    for (uint64_t i = 0; i < num_figures; i++) {
-      result.considered.push_back(read_figures(in));
+  // A cache entry is disposable, so every flavour of corruption (bad magic,
+  // truncation, garbled counts) is a miss, never an error: the caller
+  // recomputes. Contrast with the campaign checkpoint, where corruption
+  // throws because the data cannot be regenerated cheaply.
+  try {
+    if (read_u64(in) != kTrialMagic) {
+      return std::nullopt;
     }
-    const uint64_t num_durations = read_u64(in);
-    result.session_durations_s.reserve(num_durations);
-    for (uint64_t i = 0; i < num_durations; i++) {
-      result.session_durations_s.push_back(read_f64(in));
+    constexpr uint64_t kMaxPlausible = 1u << 24;
+    TrialResult trial;
+    const uint64_t num_schemes = read_u64(in);
+    if (num_schemes > kMaxPlausible) {
+      return std::nullopt;
     }
-    auto& c = result.consort;
-    c.sessions = static_cast<int64_t>(read_u64(in));
-    c.streams = static_cast<int64_t>(read_u64(in));
-    c.never_began = static_cast<int64_t>(read_u64(in));
-    c.under_min_watch = static_cast<int64_t>(read_u64(in));
-    c.decoder_failure = static_cast<int64_t>(read_u64(in));
-    c.truncated = static_cast<int64_t>(read_u64(in));
-    c.considered = static_cast<int64_t>(read_u64(in));
-    trial.schemes.push_back(std::move(result));
+    for (uint64_t s = 0; s < num_schemes; s++) {
+      SchemeResult result;
+      result.scheme = read_string(in);
+      const uint64_t num_figures = read_u64(in);
+      if (num_figures > kMaxPlausible) {
+        return std::nullopt;
+      }
+      result.considered.reserve(num_figures);
+      for (uint64_t i = 0; i < num_figures; i++) {
+        result.considered.push_back(read_figures(in));
+      }
+      const uint64_t num_durations = read_u64(in);
+      if (num_durations > kMaxPlausible) {
+        return std::nullopt;
+      }
+      result.session_durations_s.reserve(num_durations);
+      for (uint64_t i = 0; i < num_durations; i++) {
+        result.session_durations_s.push_back(read_f64(in));
+      }
+      auto& c = result.consort;
+      c.sessions = static_cast<int64_t>(read_u64(in));
+      c.streams = static_cast<int64_t>(read_u64(in));
+      c.never_began = static_cast<int64_t>(read_u64(in));
+      c.under_min_watch = static_cast<int64_t>(read_u64(in));
+      c.decoder_failure = static_cast<int64_t>(read_u64(in));
+      c.truncated = static_cast<int64_t>(read_u64(in));
+      c.considered = static_cast<int64_t>(read_u64(in));
+      trial.schemes.push_back(std::move(result));
+    }
+    return trial;
+  } catch (const RequirementError&) {
+    return std::nullopt;  // truncated or garbled entry
   }
-  return trial;
 }
 
 TrialResult run_trial_cached(const TrialConfig& config,
@@ -154,6 +179,9 @@ TrialResult run_trial_cached(const TrialConfig& config,
   if (auto cached = try_load_trial(path)) {
     return std::move(*cached);
   }
+  // Either no entry or a corrupt one: evict it so a failing save below
+  // cannot leave stale bytes behind, then recompute and re-save.
+  std::remove(path.c_str());
   TrialResult trial = run_trial(config, artifacts);
   save_trial(trial, path);
   return trial;

@@ -138,12 +138,26 @@ bool ScenarioRegistry::contains(const std::string& name) const {
 }
 
 ScenarioSpec ScenarioSpec::parse(const std::string& text) {
-  require(!text.empty(), "ScenarioSpec::parse: empty scenario string");
+  require(!text.empty(),
+          "ScenarioSpec::parse: empty scenario string (expected "
+          "\"family\" or \"family:argument\")");
   const size_t colon = text.find(':');
-  if (colon == std::string::npos) {
-    return ScenarioSpec{text};
+  ScenarioSpec spec =
+      colon == std::string::npos
+          ? ScenarioSpec{text}
+          : ScenarioSpec{text.substr(0, colon), text.substr(colon + 1)};
+  require(!spec.family.empty(), "ScenarioSpec::parse: '" + text +
+                                    "' has an empty family before the ':'");
+  if (!scenario_registry().contains(spec.family)) {
+    std::string known;
+    for (const auto& name : scenario_registry().names()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    throw RequirementError("ScenarioSpec::parse: unknown scenario family '" +
+                           spec.family + "' in '" + text +
+                           "'; known families: " + known);
   }
-  return ScenarioSpec{text.substr(0, colon), text.substr(colon + 1)};
+  return spec;
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {

@@ -43,21 +43,36 @@ TraceFile TraceFile::parse(std::istream& in) {
         numeric = false;  // out of uint64 range
       }
     }
+    // The whole-line digit check rejects NaN/inf spellings, negative and
+    // fractional timestamps, and scientific notation alike — name the
+    // offending line and its content so a bad trace is diagnosable.
     require(numeric,
             "TraceFile: line " + std::to_string(line_number) +
-                " is not a non-negative integer timestamp: '" + line + "'");
-    require(times.empty() || value >= times.back(),
-            "TraceFile: line " + std::to_string(line_number) +
-                " goes back in time");
+                " is not a non-negative integer millisecond timestamp: '" +
+                line + "'");
+    if (!times.empty() && value < times.back()) {
+      throw RequirementError(
+          "TraceFile: line " + std::to_string(line_number) +
+          " goes back in time: " + std::to_string(value) + " ms after " +
+          std::to_string(times.back()) + " ms");
+    }
     times.push_back(value);
   }
+  require(!times.empty(),
+          "TraceFile: no delivery timestamps found (empty trace)");
   return TraceFile{std::move(times)};
 }
 
 TraceFile TraceFile::load(const std::string& path) {
   std::ifstream in{path};
   require(in.is_open(), "TraceFile::load: cannot open " + path);
-  return parse(in);
+  try {
+    return parse(in);
+  } catch (const RequirementError& error) {
+    // Re-raise with the file named: "line 7 goes back in time" is useless
+    // without knowing which of a directory of traces it came from.
+    throw RequirementError("TraceFile::load: " + path + ": " + error.what());
+  }
 }
 
 void TraceFile::write(std::ostream& out) const {

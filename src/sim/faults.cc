@@ -1,0 +1,189 @@
+#include "sim/faults.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hh"
+
+namespace puffer::sim {
+
+namespace {
+
+std::string joined_names(const FaultRegistry& registry) {
+  std::string out;
+  for (const std::string& name : registry.names()) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FaultRegistry::register_family(std::string name, std::string description) {
+  require(!name.empty(), "FaultRegistry::register_family: empty name");
+  families_[std::move(name)] = std::move(description);
+}
+
+bool FaultRegistry::contains(std::string_view name) const {
+  return families_.find(name) != families_.end();
+}
+
+std::vector<std::string> FaultRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, unused_description] : families_) {
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+const std::string& FaultRegistry::description(std::string_view name) const {
+  const auto it = families_.find(name);
+  require(it != families_.end(), "FaultRegistry::description: unknown family '" +
+                                     std::string{name} + "'");
+  return it->second;
+}
+
+FaultRegistry& fault_registry() {
+  static FaultRegistry registry = [] {
+    FaultRegistry r;
+    r.register_family(std::string{kFaultTtpInference},
+                      "TTP inference fails or times out for one decision");
+    r.register_family(std::string{kFaultSessionAbort},
+                      "viewer aborts the stream mid-chunk (user model)");
+    r.register_family(std::string{kFaultTelemetryLoss},
+                      "a telemetry stream is lost before aggregation");
+    r.register_family(std::string{kFaultTelemetryDup},
+                      "a telemetry stream is delivered twice");
+    r.register_family(std::string{kFaultRetrainCrash},
+                      "a nightly retrain attempt crashes");
+    r.register_family(std::string{kFaultCheckpointLoad},
+                      "a campaign checkpoint load attempt fails");
+    r.register_family(std::string{kFaultModelLoad},
+                      "a deployed-model block is corrupt at restore");
+    r.register_family(std::string{kFaultLinkOutage},
+                      "a shared bottleneck link goes dark for a window");
+    return r;
+  }();
+  return registry;
+}
+
+void FaultPlan::add(const std::string_view family, const double probability,
+                    const double duration_s) {
+  require(fault_registry().contains(family),
+          "FaultPlan::add: unknown fault family '" + std::string{family} +
+              "'; known families: " + joined_names(fault_registry()));
+  require(probability >= 0.0 && probability <= 1.0,
+          "FaultPlan::add: probability must be in [0, 1]");
+  require(duration_s >= 0.0, "FaultPlan::add: duration_s must be >= 0");
+  for (FaultSpec& spec : specs) {
+    if (spec.family == family) {
+      spec.probability = probability;
+      spec.duration_s = duration_s;
+      return;
+    }
+  }
+  specs.push_back(FaultSpec{std::string{family}, probability, duration_s});
+}
+
+const FaultSpec* FaultPlan::find(const std::string_view family) const {
+  for (const FaultSpec& spec : specs) {
+    if (spec.family == family) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultPlan::has(const std::string_view family) const {
+  return find(family) != nullptr;
+}
+
+double FaultPlan::probability(const std::string_view family) const {
+  if (!enabled) {
+    return 0.0;
+  }
+  const FaultSpec* spec = find(family);
+  return spec == nullptr ? 0.0 : spec->probability;
+}
+
+double FaultPlan::duration_s(const std::string_view family) const {
+  const FaultSpec* spec = find(family);
+  return spec == nullptr ? 0.0 : spec->duration_s;
+}
+
+Rng FaultPlan::rng(const std::string_view family) const {
+  return Rng{seed}.split(family);
+}
+
+bool FaultPlan::draw(const std::string_view family,
+                     const std::initializer_list<uint64_t> keys) const {
+  const double p = probability(family);
+  if (p <= 0.0) {
+    return false;
+  }
+  Rng stream = rng(family);
+  for (const uint64_t key : keys) {
+    stream = stream.split(key);
+  }
+  return stream.bernoulli(p);
+}
+
+std::string FaultPlan::fingerprint_key() const {
+  std::ostringstream canon;
+  canon << "faults-v1;seed=" << seed;
+  for (const FaultSpec& spec : specs) {
+    canon << ';' << spec.family << '=' << spec.probability << '@'
+          << spec.duration_s;
+  }
+  return canon.str();
+}
+
+FaultPlan parse_fault_plan(const std::string_view text, const uint64_t seed) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  require(!text.empty(), "parse_fault_plan: empty fault spec");
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    const std::string_view token = text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    const size_t eq = token.find('=');
+    require(eq != std::string_view::npos && eq > 0 && eq + 1 < token.size(),
+            "parse_fault_plan: want family=prob[:duration], got '" +
+                std::string{token} + "'");
+    const std::string_view family = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    double duration_s = 0.0;
+    const size_t colon = value.find(':');
+    if (colon != std::string_view::npos) {
+      try {
+        duration_s = std::stod(std::string{value.substr(colon + 1)});
+      } catch (const std::exception&) {
+        require(false, "parse_fault_plan: bad duration in '" +
+                           std::string{token} + "'");
+      }
+      value = value.substr(0, colon);
+    }
+    double probability = 0.0;
+    try {
+      probability = std::stod(std::string{value});
+    } catch (const std::exception&) {
+      require(false, "parse_fault_plan: bad probability in '" +
+                         std::string{token} + "'");
+    }
+    plan.add(family, probability, duration_s);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return plan;
+}
+
+}  // namespace puffer::sim

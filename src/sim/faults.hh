@@ -1,0 +1,100 @@
+#ifndef PUFFER_SIM_FAULTS_HH
+#define PUFFER_SIM_FAULTS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace puffer::sim {
+
+/// Built-in fault family names. Families are string keys (mirroring the
+/// scenario registry) so new failure modes compose without enum churn.
+inline constexpr std::string_view kFaultTtpInference = "ttp-inference";
+inline constexpr std::string_view kFaultSessionAbort = "session-abort";
+inline constexpr std::string_view kFaultTelemetryLoss = "telemetry-loss";
+inline constexpr std::string_view kFaultTelemetryDup = "telemetry-dup";
+inline constexpr std::string_view kFaultRetrainCrash = "retrain-crash";
+inline constexpr std::string_view kFaultCheckpointLoad = "checkpoint-load";
+inline constexpr std::string_view kFaultModelLoad = "model-load";
+inline constexpr std::string_view kFaultLinkOutage = "link-outage";
+
+/// Registry of known fault families: name -> one-line description. Shares
+/// the scenario registry's shape so tools can enumerate both planes the
+/// same way. FaultPlan::add validates against this set.
+class FaultRegistry {
+ public:
+  void register_family(std::string name, std::string description);
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  // sorted
+  [[nodiscard]] const std::string& description(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> families_;
+};
+
+/// Process-wide registry preloaded with the built-in families above.
+FaultRegistry& fault_registry();
+
+/// One fault family's knobs: an injection probability per opportunity, plus
+/// a duration for window-shaped faults (link outages).
+struct FaultSpec {
+  std::string family;
+  double probability = 0.0;
+  double duration_s = 0.0;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// Seeded fault plan. Every injection decision is a PURE function of
+/// (plan seed, family, caller-supplied stable keys): draws go through
+/// dedicated util::Rng splits, never a shared mutable stream, so fault
+/// schedules are invariant to thread count, shard count, and event
+/// interleaving — the fleet==sequential bitwise contract holds with
+/// faults enabled. Virtual time alone advances the schedule.
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  /// Add (or overwrite) a family's spec. Unknown families are an error —
+  /// the message lists the registered ones.
+  void add(std::string_view family, double probability, double duration_s = 0.0);
+
+  [[nodiscard]] const FaultSpec* find(std::string_view family) const;
+  [[nodiscard]] bool has(std::string_view family) const;
+  /// Injection probability for a family; 0 when absent or plan disabled.
+  [[nodiscard]] double probability(std::string_view family) const;
+  [[nodiscard]] double duration_s(std::string_view family) const;
+
+  /// Root of a family's dedicated draw stream. Callers split further with
+  /// stable keys (session run seed, day, arm, attempt, group index) before
+  /// drawing, e.g.:
+  ///   plan.rng(kFaultRetrainCrash).split(day).split(arm).split(attempt)
+  [[nodiscard]] Rng rng(std::string_view family) const;
+
+  /// One-shot Bernoulli draw keyed on stable keys (applied as successive
+  /// index splits). Returns false when the plan is disabled or the family
+  /// has no spec.
+  [[nodiscard]] bool draw(std::string_view family,
+                          std::initializer_list<uint64_t> keys) const;
+
+  /// Canonical string for cache keys / checkpoint fingerprints. Callers
+  /// must mix this in ONLY when enabled, so zero-fault artifacts keep
+  /// their pre-fault identities.
+  [[nodiscard]] std::string fingerprint_key() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Parse "family=prob[:duration_s][,family=prob...]" into an enabled plan
+/// (e.g. "ttp-inference=0.05,link-outage=0.3:30"). Unknown families and
+/// malformed numbers are errors naming the offending token.
+[[nodiscard]] FaultPlan parse_fault_plan(std::string_view text, uint64_t seed);
+
+}  // namespace puffer::sim
+
+#endif  // PUFFER_SIM_FAULTS_HH

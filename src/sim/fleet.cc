@@ -39,6 +39,7 @@ struct ShardMetrics {
   obs::MetricRegistry::Id ttp_forwards;
   obs::MetricRegistry::Id ttp_groups;
   obs::MetricRegistry::Id ttp_max_forward_rows;
+  obs::MetricRegistry::Id faults_injected;
 
   ShardMetrics() {
     const obs::MetricOptions local{.shard_local = true};
@@ -64,6 +65,9 @@ struct ShardMetrics {
     ttp_groups = registry.gauge("fleet.ttp.groups", local);
     ttp_max_forward_rows =
         registry.gauge("fleet.ttp.max_forward_rows", local);
+    // Fault events are pure per-session functions of the fault plan's seed,
+    // so their count is partition-invariant (class plain).
+    faults_injected = registry.counter("faults.injected");
   }
 };
 
@@ -117,6 +121,7 @@ void run_shard(const FleetConfig& config,
   std::vector<Event> batch;
   std::vector<char> staged;     // per batch entry: rows went to shared_batch
   std::vector<char> completed;  // per batch entry: task finished
+  std::vector<FleetTask::FaultEvent> fault_events;
 
   // Tear down a finished session: record the completion, free the task
   // (slot memory is recycled by the caller's pool via on_complete).
@@ -268,6 +273,23 @@ void run_shard(const FleetConfig& config,
       }
       const double t = arrival_time[slot] + tasks[slot]->elapsed_s();
       stats.virtual_duration_s = std::max(stats.virtual_duration_s, t);
+      fault_events.clear();
+      tasks[slot]->drain_fault_events(fault_events);
+      if (!fault_events.empty()) {
+        m.registry.add(m.faults_injected,
+                       static_cast<int64_t>(fault_events.size()));
+        if (trace != nullptr) {
+          for (const FleetTask::FaultEvent& fault : fault_events) {
+            trace->instant(
+                obs::kSimTracePid, shard, "fault",
+                (arrival_time[slot] + fault.time_s) * 1e6,
+                obs::TraceArgs{}
+                    .add("family", fault.family)
+                    .add("session", sessions[slot])
+                    .str());
+          }
+        }
+      }
       if (completed[i] != 0) {
         complete(slot, t);
       } else {

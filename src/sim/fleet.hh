@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hh"
@@ -68,6 +69,23 @@ class FleetTask {
                            double end_s) const {
     load.add(arrival_s, +1);
     load.add(end_s, -1);
+  }
+
+  /// One fault the task's last step injected, stamped on the task-local
+  /// virtual timeline (the engine maps it to arrival_time + time_s). The
+  /// family must be a string with static storage duration.
+  struct FaultEvent {
+    double time_s = 0.0;
+    std::string_view family;
+  };
+
+  /// Move any fault events injected since the last drain into `out`.
+  /// Called by the engine after each finish_chunk() round (serial, batch
+  /// order): events count into the shard's `faults.injected` metric and
+  /// appear as "fault" instants on the virtual-time trace lane. Default:
+  /// fault-free.
+  virtual void drain_fault_events(std::vector<FaultEvent>& out) {
+    (void)out;
   }
 };
 

@@ -224,6 +224,12 @@ void StreamSession::finish_chunk() {
   complete_chunk(sender_.transfer(bytes));
 }
 
+void StreamSession::abort_stream() {
+  require(!done_, "StreamSession::abort_stream: stream is over");
+  user_left_ = true;
+  end_stream();
+}
+
 void StreamSession::end_stream() {
   outcome_.figures.watch_time_s = played_s_ + stall_s_;
   outcome_.figures.stall_time_s = stall_s_;

@@ -135,6 +135,13 @@ class StreamSession {
 
   [[nodiscard]] bool done() const { return done_; }
 
+  /// Mid-stream abort via the user model: the viewer leaves immediately
+  /// (same accounting as a quality/stall departure — the stream ends with
+  /// user_left semantics and its outcome stays valid). Used by the fault
+  /// plane's session-abort family; must not be called between a true
+  /// prepare_chunk() and its finish_chunk().
+  void abort_stream();
+
   /// The finished stream's outcome (valid once prepare_chunk() returned
   /// false); leaves the session in a moved-from state.
   StreamOutcome take_outcome();

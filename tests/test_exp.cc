@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "exp/insitu.hh"
 #include "exp/models.hh"
 #include "exp/registry.hh"
 #include "exp/trial.hh"
+#include "exp/trial_cache.hh"
 #include "util/require.hh"
 
 namespace puffer::exp {
@@ -263,6 +266,46 @@ TEST(Insitu, EndToEndTinyInsituTraining) {
       collect_telemetry(net::ScenarioSpec{"puffer"}, 8, 0, 67);
   const auto eval = evaluate_ttp(model, eval_data);
   EXPECT_LT(eval.cross_entropy, 2.8);
+}
+
+/// A corrupt trial-cache entry is a miss, not an error: run_trial_cached
+/// evicts it, recomputes, and re-saves the repaired entry.
+TEST(TrialCache, CorruptEntryIsEvictedAndRecomputed) {
+  TrialConfig config = small_trial_config();
+  config.sessions_per_scheme = 6;
+  config.seed = 4242;  // private cache identity for this test
+  const SchemeArtifacts none;
+  const std::string label = "cache_evict_test";
+  const TrialResult first = run_trial_cached(config, none, label);
+
+  // Locate the entry this run wrote and garble it in place.
+  std::string entry;
+  for (const auto& file :
+       std::filesystem::directory_iterator(model_cache_dir())) {
+    const std::string name = file.path().filename().string();
+    if (name.rfind("trial_" + label + "_", 0) == 0) {
+      entry = file.path().string();
+    }
+  }
+  ASSERT_FALSE(entry.empty());
+  {
+    std::ofstream out{entry, std::ios::binary | std::ios::trunc};
+    out << "garbage";
+  }
+
+  const TrialResult recomputed = run_trial_cached(config, none, label);
+  ASSERT_EQ(recomputed.schemes.size(), first.schemes.size());
+  for (size_t s = 0; s < first.schemes.size(); s++) {
+    EXPECT_EQ(recomputed.schemes[s].consort.sessions,
+              first.schemes[s].consort.sessions);
+    EXPECT_EQ(recomputed.schemes[s].considered.size(),
+              first.schemes[s].considered.size());
+  }
+  // The recompute repaired the entry: the next call is served from cache.
+  const auto repaired = try_load_trial(entry);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->schemes.size(), first.schemes.size());
+  std::remove(entry.c_str());
 }
 
 }  // namespace

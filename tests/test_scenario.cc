@@ -93,6 +93,26 @@ TEST(ScenarioRegistry, SpecParseInvertsKey) {
   EXPECT_THROW(ScenarioSpec::parse(""), RequirementError);
 }
 
+TEST(ScenarioRegistry, SpecParseErrorsArePrecise) {
+  try {
+    static_cast<void>(ScenarioSpec::parse(":x"));
+    FAIL() << "expected RequirementError";
+  } catch (const RequirementError& error) {
+    EXPECT_NE(std::string{error.what()}.find("empty family"),
+              std::string::npos);
+  }
+  try {
+    static_cast<void>(ScenarioSpec::parse("marsnet:dust-storm"));
+    FAIL() << "expected RequirementError";
+  } catch (const RequirementError& error) {
+    const std::string message = error.what();
+    // Names the offending family and lists the registered ones.
+    EXPECT_NE(message.find("marsnet"), std::string::npos);
+    EXPECT_NE(message.find("puffer"), std::string::npos);
+    EXPECT_NE(message.find("trace-replay"), std::string::npos);
+  }
+}
+
 TEST(ScenarioFamilies, DeterministicPerSeed) {
   // Same (family, seed) -> bit-identical path; different seed -> different.
   for (const auto& family : kBuiltinSynthetic) {

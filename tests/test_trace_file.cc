@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "net/trace_file.hh"
 #include "util/require.hh"
@@ -42,6 +44,52 @@ TEST(TraceFile, RejectsGarbage) {
   EXPECT_THROW(TraceFile::parse(decreasing), RequirementError);
   std::istringstream trailing{"12x\n"};
   EXPECT_THROW(TraceFile::parse(trailing), RequirementError);
+}
+
+TEST(TraceFile, RejectsNonIntegerTimestampSpellings) {
+  // NaN/inf spellings, fractional, scientific and signed numbers are all
+  // rejected with the offending line number and content in the message.
+  for (const std::string bad : {"nan", "inf", "3.5", "1e3", "+7", "0x10"}) {
+    std::istringstream in{"2\n" + bad + "\n"};
+    try {
+      TraceFile::parse(in);
+      FAIL() << "expected RequirementError for '" << bad << "'";
+    } catch (const RequirementError& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find("line 2"), std::string::npos) << bad;
+      EXPECT_NE(message.find("'" + bad + "'"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(TraceFile, BackwardsTimeErrorNamesBothTimestamps) {
+  std::istringstream in{"100\n40\n"};
+  try {
+    TraceFile::parse(in);
+    FAIL() << "expected RequirementError";
+  } catch (const RequirementError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("goes back in time"), std::string::npos);
+    EXPECT_NE(message.find("40"), std::string::npos);
+    EXPECT_NE(message.find("100"), std::string::npos);
+  }
+}
+
+TEST(TraceFile, LoadErrorNamesTheFile) {
+  const std::string path = ::testing::TempDir() + "/corrupt.trace";
+  {
+    std::ofstream out{path};
+    out << "5\nbogus\n";
+  }
+  try {
+    TraceFile::load(path);
+    FAIL() << "expected RequirementError";
+  } catch (const RequirementError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(path), std::string::npos);
+    EXPECT_NE(message.find("line 2"), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(TraceFile, RejectsUnsortedConstruction) {
